@@ -1,0 +1,242 @@
+//! The dense marker-based accumulator (§III-C).
+//!
+//! A value array of length `ncols` plus a marker array of the same length.
+//! State per slot `j` for the current row epoch `cur`:
+//!
+//! * `marks[j] < cur` (stale) — slot not used this row;
+//! * `marks[j] == cur` — `j` is in the mask but unwritten;
+//! * `marks[j] == cur + 1` — `j` has an accumulated value in `vals[j]`.
+//!
+//! Between rows only the epoch is bumped (O(1) reset); a narrow marker
+//! overflows periodically and forces an O(ncols) clear, the trade-off the
+//! paper's Fig. 13 measures.
+
+use crate::marker::{advance_epoch, Marker};
+use crate::Accumulator;
+use mspgemm_sparse::{Idx, Semiring};
+
+/// Dense accumulator with `M`-typed epoch markers.
+///
+/// "The dense accumulator may be preferred when the dimension of the matrix
+/// is small, or when there is significant spatial locality in the writes"
+/// (§III-C) — the com-Orkut discussion in §V-B shows exactly that effect.
+pub struct DenseAccumulator<S: Semiring, M: Marker> {
+    vals: Vec<S::T>,
+    marks: Vec<M>,
+    /// Current row's "in mask" epoch; `cur + 1` is "written".
+    cur: u64,
+    full_resets: u64,
+}
+
+impl<S: Semiring, M: Marker> DenseAccumulator<S, M> {
+    /// Create an accumulator for outputs with `ncols` columns.
+    pub fn new(ncols: usize) -> Self {
+        DenseAccumulator {
+            vals: vec![S::zero(); ncols],
+            marks: vec![M::default(); ncols],
+            cur: 0, // first begin_row() advances to 2
+            full_resets: 0,
+        }
+    }
+
+    /// Number of columns this accumulator covers.
+    pub fn ncols(&self) -> usize {
+        self.vals.len()
+    }
+}
+
+impl<S: Semiring, M: Marker> Accumulator<S> for DenseAccumulator<S, M> {
+    #[inline]
+    fn begin_row(&mut self) {
+        let (next, overflow) = advance_epoch::<M>(self.cur);
+        if overflow {
+            // Fig. 13's trade-off: the narrow marker just overflowed, so
+            // every slot must be cleared before epochs can be reused.
+            self.marks.fill(M::default());
+            self.full_resets += 1;
+        }
+        self.cur = next;
+    }
+
+    #[inline(always)]
+    fn set_mask(&mut self, j: Idx) {
+        let ju = j as usize;
+        // idempotent admit: never downgrade a slot already written this row
+        if self.marks[ju] != M::from_epoch(self.cur + 1) {
+            self.marks[ju] = M::from_epoch(self.cur);
+        }
+    }
+
+    #[inline(always)]
+    fn accumulate_masked(&mut self, j: Idx, a: S::T, b: S::T) -> bool {
+        let j = j as usize;
+        let mark = self.marks[j];
+        if mark == M::from_epoch(self.cur + 1) {
+            // already written this row: accumulate
+            self.vals[j] = S::fma(self.vals[j], a, b);
+            true
+        } else if mark == M::from_epoch(self.cur) {
+            // in mask, first write
+            self.marks[j] = M::from_epoch(self.cur + 1);
+            self.vals[j] = S::mul(a, b);
+            true
+        } else {
+            // not in the mask: discard (Fig. 5 line 13)
+            false
+        }
+    }
+
+    #[inline(always)]
+    fn accumulate_any(&mut self, j: Idx, a: S::T, b: S::T) {
+        let j = j as usize;
+        if self.marks[j] == M::from_epoch(self.cur + 1) {
+            self.vals[j] = S::fma(self.vals[j], a, b);
+        } else {
+            self.marks[j] = M::from_epoch(self.cur + 1);
+            self.vals[j] = S::mul(a, b);
+        }
+    }
+
+    #[inline(always)]
+    fn written(&self, j: Idx) -> Option<S::T> {
+        let j = j as usize;
+        if self.marks[j] == M::from_epoch(self.cur + 1) {
+            Some(self.vals[j])
+        } else {
+            None
+        }
+    }
+
+    fn gather(&mut self, mask_cols: &[Idx], out_cols: &mut Vec<Idx>, out_vals: &mut Vec<S::T>) {
+        let written = M::from_epoch(self.cur + 1);
+        for &j in mask_cols {
+            if self.marks[j as usize] == written {
+                out_cols.push(j);
+                out_vals.push(self.vals[j as usize]);
+            }
+        }
+    }
+
+    fn full_resets(&self) -> u64 {
+        self.full_resets
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.vals.len() * std::mem::size_of::<S::T>()
+            + self.marks.len() * std::mem::size_of::<M>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspgemm_sparse::PlusTimes;
+
+    type Acc = DenseAccumulator<PlusTimes, u32>;
+
+    #[test]
+    fn masked_accumulation_respects_mask() {
+        let mut acc = Acc::new(8);
+        acc.begin_row();
+        acc.set_mask(2);
+        acc.set_mask(5);
+        assert!(acc.accumulate_masked(2, 3.0, 4.0)); // 12
+        assert!(acc.accumulate_masked(2, 1.0, 1.0)); // 13
+        assert!(!acc.accumulate_masked(3, 9.0, 9.0)); // not in mask
+        assert_eq!(acc.written(2), Some(13.0));
+        assert_eq!(acc.written(5), None); // masked but never written
+        assert_eq!(acc.written(3), None);
+    }
+
+    #[test]
+    fn gather_emits_only_written_mask_entries_in_order() {
+        let mut acc = Acc::new(8);
+        acc.begin_row();
+        for j in [1, 4, 6] {
+            acc.set_mask(j);
+        }
+        acc.accumulate_masked(6, 2.0, 2.0);
+        acc.accumulate_masked(1, 1.0, 5.0);
+        let (mut cols, mut vals) = (Vec::new(), Vec::new());
+        acc.gather(&[1, 4, 6], &mut cols, &mut vals);
+        assert_eq!(cols, vec![1, 6]);
+        assert_eq!(vals, vec![5.0, 4.0]);
+    }
+
+    #[test]
+    fn rows_are_isolated_by_epoch() {
+        let mut acc = Acc::new(4);
+        acc.begin_row();
+        acc.set_mask(1);
+        acc.accumulate_masked(1, 2.0, 2.0);
+        assert_eq!(acc.written(1), Some(4.0));
+
+        acc.begin_row();
+        // previous row's state must be invisible
+        assert_eq!(acc.written(1), None);
+        assert!(!acc.accumulate_masked(1, 1.0, 1.0), "mask not set this row");
+        acc.set_mask(1);
+        assert!(acc.accumulate_masked(1, 1.0, 1.0));
+        assert_eq!(acc.written(1), Some(1.0));
+    }
+
+    #[test]
+    fn accumulate_any_ignores_mask() {
+        let mut acc = Acc::new(4);
+        acc.begin_row();
+        acc.accumulate_any(3, 2.0, 5.0);
+        acc.accumulate_any(3, 1.0, 1.0);
+        assert_eq!(acc.written(3), Some(11.0));
+        // vanilla gather: intersect with a mask that excludes 3
+        let (mut cols, mut vals) = (Vec::new(), Vec::new());
+        acc.gather(&[0, 1], &mut cols, &mut vals);
+        assert!(cols.is_empty() && vals.is_empty());
+        acc.gather(&[3], &mut cols, &mut vals);
+        assert_eq!(cols, vec![3]);
+    }
+
+    #[test]
+    fn u8_marker_overflow_resets_transparently() {
+        let mut acc: DenseAccumulator<PlusTimes, u8> = DenseAccumulator::new(4);
+        // run enough rows to force several overflows
+        for row in 0..1000u64 {
+            acc.begin_row();
+            acc.set_mask(0);
+            acc.accumulate_masked(0, row as f64, 1.0);
+            assert_eq!(acc.written(0), Some(row as f64), "row {row}");
+            assert_eq!(acc.written(1), None);
+        }
+        assert!(acc.full_resets() > 5, "expected overflows, got {}", acc.full_resets());
+    }
+
+    #[test]
+    fn u64_marker_never_resets() {
+        let mut acc: DenseAccumulator<PlusTimes, u64> = DenseAccumulator::new(4);
+        for _ in 0..10_000 {
+            acc.begin_row();
+        }
+        assert_eq!(acc.full_resets(), 0);
+    }
+
+    #[test]
+    fn state_bytes_scales_with_marker_width() {
+        let a8: DenseAccumulator<PlusTimes, u8> = DenseAccumulator::new(100);
+        let a64: DenseAccumulator<PlusTimes, u64> = DenseAccumulator::new(100);
+        assert_eq!(a8.state_bytes(), 100 * 8 + 100);
+        assert_eq!(a64.state_bytes(), 100 * 8 + 100 * 8);
+    }
+
+    #[test]
+    fn set_mask_is_idempotent_and_preserves_written_state() {
+        // kernels load the whole mask before updating, but set_mask must
+        // be a pure "admit" either way: re-admitting a written slot keeps
+        // its value (uniform semantics across all accumulator families)
+        let mut acc = Acc::new(4);
+        acc.begin_row();
+        acc.set_mask(1);
+        acc.set_mask(1);
+        acc.accumulate_masked(1, 2.0, 3.0);
+        acc.set_mask(1);
+        assert_eq!(acc.written(1), Some(6.0));
+    }
+}

@@ -1,0 +1,165 @@
+//! Sparse accumulators for masked-SpGEMM — the paper's third performance
+//! dimension (§III-C).
+//!
+//! The accumulator "stores the partial sums during the computation of
+//! `C[i,:]`, and encodes the mask `M[i,:]` to enable linear scanning of the
+//! B rows". Its two requirements are (1) fast random access to all possible
+//! output column indices and (2) fast state resetting between rows.
+//!
+//! Two families are provided, mirroring GrB and SuiteSparse:GraphBLAS:
+//!
+//! * [`DenseAccumulator`] — a value array of length `ncols` plus a marker
+//!   array. Resetting is *implicit*: a per-row epoch counter is bumped and
+//!   slots whose marker doesn't match are stale. The marker width is a
+//!   tuning parameter (the paper's Fig. 13 experiment): narrow markers give
+//!   better cache locality but overflow sooner, forcing a full reset —
+//!   implemented exactly as described in §III-C ("overflow is detected and
+//!   the state is fully reset when it occurs").
+//! * [`HashAccumulator`] — an open-addressing table sized by
+//!   `max_i nnz(M[i,:])` (the paper's own sizing choice, tighter than the
+//!   operation-count bound GrB/SuiteSparse use), also with epoch markers.
+//! * [`DenseExplicitReset`] — GrB's original strategy (explicitly clear
+//!   every mask slot after each row); kept for the reset-policy ablation
+//!   bench.
+//!
+//! All accumulators implement [`Accumulator`] and are generic over the
+//! [`Semiring`], so the kernels in `mspgemm-core` are written once.
+
+pub mod dense;
+pub mod explicit;
+pub mod hash;
+pub mod marker;
+pub mod sort;
+
+pub use dense::DenseAccumulator;
+pub use explicit::DenseExplicitReset;
+pub use hash::HashAccumulator;
+pub use marker::{Marker, MarkerWidth};
+pub use sort::SortAccumulator;
+
+use mspgemm_sparse::{Idx, Semiring};
+
+/// Row-scoped scratch storage for masked-SpGEMM.
+///
+/// Protocol per output row `i` (kernels in `mspgemm-core` follow it):
+///
+/// 1. [`begin_row`](Accumulator::begin_row) — invalidate previous state;
+/// 2. optionally [`set_mask`](Accumulator::set_mask) for each column of
+///    `M[i,:]` (the mask-preload kernels, Fig. 4/5 of the paper);
+/// 3. a mix of [`accumulate_masked`](Accumulator::accumulate_masked)
+///    (discards misses, Fig. 5 line 13) and/or
+///    [`accumulate_any`](Accumulator::accumulate_any) (vanilla kernel,
+///    Fig. 3 line 12);
+/// 4. [`gather`](Accumulator::gather) to emit the surviving entries of the
+///    row in sorted column order.
+pub trait Accumulator<S: Semiring>: Send {
+    /// Start a new output row, invalidating all state from previous rows.
+    fn begin_row(&mut self);
+
+    /// Record that column `j` is admissible (present in `M[i,:]`). The
+    /// associated value starts at the semiring zero, "unwritten".
+    /// Idempotent, and never downgrades a column already written this row.
+    fn set_mask(&mut self, j: Idx);
+
+    /// `acc[j] ⊕= a ⊗ b` **iff** `j` was [`set_mask`](Self::set_mask)-ed
+    /// this row; returns whether the update hit. This is the probe-and-
+    /// update of Fig. 4.
+    fn accumulate_masked(&mut self, j: Idx, a: S::T, b: S::T) -> bool;
+
+    /// `acc[j] ⊕= a ⊗ b` unconditionally (the vanilla kernel's update; the
+    /// mask is intersected later, at gather time).
+    fn accumulate_any(&mut self, j: Idx, a: S::T, b: S::T);
+
+    /// The value written to `j` this row, if any.
+    fn written(&self, j: Idx) -> Option<S::T>;
+
+    /// Append, in order, each `j ∈ mask_cols` that was written this row
+    /// (together with its value) to `out_cols` / `out_vals`. This performs
+    /// the mask intersection for the vanilla kernel and the final gather
+    /// (`C[i,:] = acc.gather()`) for all kernels.
+    fn gather(&mut self, mask_cols: &[Idx], out_cols: &mut Vec<Idx>, out_vals: &mut Vec<S::T>);
+
+    /// How many times the whole state array had to be reset because the
+    /// epoch marker overflowed (always 0 for 64-bit markers in practice).
+    fn full_resets(&self) -> u64;
+
+    /// Approximate resident state size in bytes — the quantity the paper's
+    /// Fig. 13 experiment trades against reset frequency.
+    fn state_bytes(&self) -> usize;
+}
+
+/// Runtime selection of the accumulator family and marker width — what the
+/// tuner (paper Fig. 12, stage 3) sweeps over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccumulatorKind {
+    /// Dense marker-based accumulator with the given marker width.
+    Dense(MarkerWidth),
+    /// Hash accumulator with the given marker width.
+    Hash(MarkerWidth),
+    /// Log-structured sort-merge accumulator (no marker state). Not in
+    /// the paper's final sweep — kept from the wider Milaković design
+    /// space to show why dense/hash win (see the ablation benches).
+    Sort,
+}
+
+impl AccumulatorKind {
+    /// All (family × width) combinations: the Fig. 13 sweep grid plus the
+    /// sort-based outsider.
+    pub fn all() -> Vec<AccumulatorKind> {
+        use MarkerWidth::*;
+        let mut v = Vec::new();
+        for w in [W8, W16, W32, W64] {
+            v.push(AccumulatorKind::Dense(w));
+            v.push(AccumulatorKind::Hash(w));
+        }
+        v.push(AccumulatorKind::Sort);
+        v
+    }
+
+    /// The paper's Fig. 13 grid only (dense/hash × widths).
+    pub fn paper_grid() -> Vec<AccumulatorKind> {
+        use MarkerWidth::*;
+        let mut v = Vec::new();
+        for w in [W8, W16, W32, W64] {
+            v.push(AccumulatorKind::Dense(w));
+            v.push(AccumulatorKind::Hash(w));
+        }
+        v
+    }
+
+    /// Short label used by benchmark reports.
+    pub fn label(&self) -> String {
+        match self {
+            AccumulatorKind::Dense(w) => format!("dense{}", w.bits()),
+            AccumulatorKind::Hash(w) => format!("hash{}", w.bits()),
+            AccumulatorKind::Sort => "sort".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_enumerates_grid() {
+        let all = AccumulatorKind::all();
+        assert_eq!(all.len(), 9);
+        assert!(all.contains(&AccumulatorKind::Dense(MarkerWidth::W32)));
+        assert!(all.contains(&AccumulatorKind::Hash(MarkerWidth::W8)));
+        assert!(all.contains(&AccumulatorKind::Sort));
+        assert_eq!(AccumulatorKind::paper_grid().len(), 8);
+        assert!(!AccumulatorKind::paper_grid().contains(&AccumulatorKind::Sort));
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let all = AccumulatorKind::all();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.label(), b.label());
+            }
+        }
+        assert_eq!(AccumulatorKind::Dense(MarkerWidth::W16).label(), "dense16");
+    }
+}

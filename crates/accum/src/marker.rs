@@ -1,0 +1,148 @@
+//! Epoch markers — the implicit-reset mechanism of §III-C.
+//!
+//! SuiteSparse:GraphBLAS resets its dense accumulator by bumping a 64-bit
+//! epoch ("marker") instead of clearing the array; a slot is valid only if
+//! its stored marker matches the current epoch. The paper's modification
+//! "relax[es] the marker to be less than 64 bits. This may lead to overflow
+//! during marker increment, so overflow is detected and the state is fully
+//! reset when it occurs. This trades off the size of the state vector with
+//! the time taken to reset the vector."
+//!
+//! [`Marker`] abstracts the stored width; accumulators keep the current
+//! epoch as `u64` and convert at the boundary.
+
+/// A narrow unsigned integer usable as an accumulator epoch marker.
+pub trait Marker: Copy + PartialEq + Eq + Send + Sync + Default + 'static {
+    /// Number of bits (8, 16, 32, 64).
+    const BITS: u32;
+    /// Largest epoch storable.
+    const MAX_EPOCH: u64;
+    /// Truncating conversion from the running epoch counter. Callers
+    /// guarantee `epoch <= MAX_EPOCH`.
+    fn from_epoch(epoch: u64) -> Self;
+}
+
+macro_rules! impl_marker {
+    ($ty:ty, $bits:expr) => {
+        impl Marker for $ty {
+            const BITS: u32 = $bits;
+            const MAX_EPOCH: u64 = <$ty>::MAX as u64;
+            #[inline(always)]
+            fn from_epoch(epoch: u64) -> Self {
+                debug_assert!(epoch <= Self::MAX_EPOCH);
+                epoch as $ty
+            }
+        }
+    };
+}
+
+impl_marker!(u8, 8);
+impl_marker!(u16, 16);
+impl_marker!(u32, 32);
+impl_marker!(u64, 64);
+
+/// Runtime-selectable marker width (the Fig. 13 sweep axis).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MarkerWidth {
+    /// 8-bit markers: 1-byte state per slot, overflow every 127 rows.
+    W8,
+    /// 16-bit markers.
+    W16,
+    /// 32-bit markers — the paper's dense-accumulator sweet spot.
+    W32,
+    /// 64-bit markers — SuiteSparse's choice; never overflows in practice.
+    W64,
+}
+
+impl MarkerWidth {
+    /// All widths in sweep order.
+    pub fn all() -> [MarkerWidth; 4] {
+        [MarkerWidth::W8, MarkerWidth::W16, MarkerWidth::W32, MarkerWidth::W64]
+    }
+
+    /// Bit count.
+    pub fn bits(self) -> u32 {
+        match self {
+            MarkerWidth::W8 => 8,
+            MarkerWidth::W16 => 16,
+            MarkerWidth::W32 => 32,
+            MarkerWidth::W64 => 64,
+        }
+    }
+}
+
+/// The shared epoch-advance logic: each row consumes **two** consecutive
+/// epoch values (`cur` = "mask-loaded", `cur + 1` = "written"), so the
+/// epoch advances by 2 per row and overflows when `cur + 1` would no longer
+/// fit the marker. Returns the new epoch and whether a full reset is
+/// required.
+#[inline]
+pub fn advance_epoch<M: Marker>(cur: u64) -> (u64, bool) {
+    let next = cur + 2;
+    if next + 1 > M::MAX_EPOCH {
+        // restart at 2 so that marker value 0 (the freshly-zeroed state)
+        // can never alias a valid epoch
+        (2, true)
+    } else {
+        (next, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_report_bits() {
+        assert_eq!(MarkerWidth::W8.bits(), 8);
+        assert_eq!(MarkerWidth::W64.bits(), 64);
+        assert_eq!(MarkerWidth::all().len(), 4);
+    }
+
+    #[test]
+    fn marker_constants() {
+        assert_eq!(<u8 as Marker>::MAX_EPOCH, 255);
+        assert_eq!(<u16 as Marker>::BITS, 16);
+        assert_eq!(u8::from_epoch(7), 7u8);
+    }
+
+    #[test]
+    fn epoch_advances_by_two_without_overflow() {
+        let (next, reset) = advance_epoch::<u64>(2);
+        assert_eq!(next, 4);
+        assert!(!reset);
+    }
+
+    #[test]
+    fn epoch_overflow_detected_for_u8() {
+        // u8 max epoch = 255; cur = 252: next = 254, need 255 -> fits
+        let (next, reset) = advance_epoch::<u8>(252);
+        assert_eq!(next, 254);
+        assert!(!reset);
+        // cur = 254: next = 256 -> 256+1 > 255 -> reset to 2
+        let (next, reset) = advance_epoch::<u8>(254);
+        assert_eq!(next, 2);
+        assert!(reset);
+    }
+
+    #[test]
+    fn u8_marker_overflows_roughly_every_127_rows() {
+        let mut cur = 2u64;
+        let mut resets = 0;
+        for _ in 0..1000 {
+            let (next, reset) = advance_epoch::<u8>(cur);
+            cur = next;
+            if reset {
+                resets += 1;
+            }
+        }
+        // 2,4,...,254 → 126 steps between resets
+        assert!((7..=9).contains(&resets), "resets = {resets}");
+    }
+
+    #[test]
+    fn u64_marker_never_overflows_in_practice() {
+        let (_, reset) = advance_epoch::<u64>(1 << 40);
+        assert!(!reset);
+    }
+}

@@ -1,0 +1,190 @@
+//! A sort-based accumulator — the third point in the accumulator design
+//! space explored by Milaković et al. (the paper's base codebase), kept
+//! here for completeness of the comparison.
+//!
+//! Instead of random-access state, updates are appended to a log of
+//! `(column, value)` pairs; gather sorts the log and merges duplicates
+//! while intersecting with the mask. No per-slot markers exist, so resets
+//! are O(1) and there is nothing to tune — the trade-off is the
+//! `O(u log u)` sort per row (`u` = updates). Competitive only when rows
+//! are very short; included in the ablation benches to show *why* the
+//! paper's analysis can restrict itself to dense and hash.
+
+use crate::Accumulator;
+use mspgemm_sparse::{Idx, Semiring};
+
+/// Log-structured accumulator: appends then sort-merges at gather.
+pub struct SortAccumulator<S: Semiring> {
+    log: Vec<(Idx, S::T)>,
+    /// Mask columns for the current row (sorted — CSR rows are sorted).
+    mask: Vec<Idx>,
+    mask_loaded: bool,
+}
+
+impl<S: Semiring> SortAccumulator<S> {
+    /// Create an accumulator; `expected_row_updates` just pre-reserves.
+    pub fn new(expected_row_updates: usize) -> Self {
+        SortAccumulator {
+            log: Vec::with_capacity(expected_row_updates),
+            mask: Vec::new(),
+            mask_loaded: false,
+        }
+    }
+}
+
+impl<S: Semiring> Default for SortAccumulator<S> {
+    fn default() -> Self {
+        Self::new(64)
+    }
+}
+
+impl<S: Semiring> Accumulator<S> for SortAccumulator<S> {
+    fn begin_row(&mut self) {
+        self.log.clear();
+        self.mask.clear();
+        self.mask_loaded = false;
+    }
+
+    fn set_mask(&mut self, j: Idx) {
+        self.mask.push(j);
+        self.mask_loaded = true;
+    }
+
+    #[inline]
+    fn accumulate_masked(&mut self, j: Idx, a: S::T, b: S::T) -> bool {
+        // membership test against the (sorted) mask row
+        if self.mask.binary_search(&j).is_ok() {
+            self.log.push((j, S::mul(a, b)));
+            true
+        } else {
+            false
+        }
+    }
+
+    #[inline]
+    fn accumulate_any(&mut self, j: Idx, a: S::T, b: S::T) {
+        self.log.push((j, S::mul(a, b)));
+    }
+
+    fn written(&self, j: Idx) -> Option<S::T> {
+        // O(u) scan; the driver never calls this in hot paths
+        let mut acc: Option<S::T> = None;
+        for &(c, v) in &self.log {
+            if c == j {
+                acc = Some(match acc {
+                    Some(prev) => S::add(prev, v),
+                    None => v,
+                });
+            }
+        }
+        acc
+    }
+
+    fn gather(&mut self, mask_cols: &[Idx], out_cols: &mut Vec<Idx>, out_vals: &mut Vec<S::T>) {
+        if self.log.is_empty() {
+            return;
+        }
+        self.log.sort_unstable_by_key(|&(c, _)| c);
+        let mut mi = 0usize; // cursor into mask_cols (both sides sorted)
+        let mut li = 0usize;
+        while li < self.log.len() && mi < mask_cols.len() {
+            let (c, _) = self.log[li];
+            match c.cmp(&mask_cols[mi]) {
+                std::cmp::Ordering::Less => {
+                    // not in mask: skip the whole duplicate run
+                    li += 1;
+                    while li < self.log.len() && self.log[li].0 == c {
+                        li += 1;
+                    }
+                }
+                std::cmp::Ordering::Greater => mi += 1,
+                std::cmp::Ordering::Equal => {
+                    let mut acc = self.log[li].1;
+                    li += 1;
+                    while li < self.log.len() && self.log[li].0 == c {
+                        acc = S::add(acc, self.log[li].1);
+                        li += 1;
+                    }
+                    out_cols.push(c);
+                    out_vals.push(acc);
+                    mi += 1;
+                }
+            }
+        }
+    }
+
+    fn full_resets(&self) -> u64 {
+        0
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.log.capacity() * std::mem::size_of::<(Idx, S::T)>()
+            + self.mask.capacity() * std::mem::size_of::<Idx>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspgemm_sparse::PlusTimes;
+
+    type Acc = SortAccumulator<PlusTimes>;
+
+    #[test]
+    fn masked_accumulation_respects_mask() {
+        let mut acc = Acc::default();
+        acc.begin_row();
+        acc.set_mask(2);
+        acc.set_mask(5);
+        assert!(acc.accumulate_masked(2, 3.0, 4.0));
+        assert!(acc.accumulate_masked(2, 1.0, 1.0));
+        assert!(!acc.accumulate_masked(3, 9.0, 9.0));
+        assert_eq!(acc.written(2), Some(13.0));
+        assert_eq!(acc.written(5), None);
+    }
+
+    #[test]
+    fn gather_merges_duplicates_in_order() {
+        let mut acc = Acc::default();
+        acc.begin_row();
+        acc.accumulate_any(6, 2.0, 2.0);
+        acc.accumulate_any(1, 1.0, 5.0);
+        acc.accumulate_any(6, 1.0, 3.0);
+        let (mut cols, mut vals) = (Vec::new(), Vec::new());
+        acc.gather(&[1, 4, 6], &mut cols, &mut vals);
+        assert_eq!(cols, vec![1, 6]);
+        assert_eq!(vals, vec![5.0, 7.0]);
+    }
+
+    #[test]
+    fn gather_intersects_with_mask() {
+        let mut acc = Acc::default();
+        acc.begin_row();
+        acc.accumulate_any(3, 2.0, 3.0);
+        acc.accumulate_any(7, 1.0, 1.0);
+        let (mut cols, mut vals) = (Vec::new(), Vec::new());
+        acc.gather(&[7], &mut cols, &mut vals);
+        assert_eq!(cols, vec![7]);
+        assert_eq!(vals, vec![1.0]);
+    }
+
+    #[test]
+    fn rows_are_isolated() {
+        let mut acc = Acc::default();
+        acc.begin_row();
+        acc.set_mask(1);
+        acc.accumulate_masked(1, 2.0, 2.0);
+        acc.begin_row();
+        assert_eq!(acc.written(1), None);
+        assert!(!acc.accumulate_masked(1, 1.0, 1.0), "mask cleared between rows");
+    }
+
+    #[test]
+    fn empty_row_gathers_nothing() {
+        let mut acc = Acc::default();
+        acc.begin_row();
+        let (mut cols, mut vals) = (Vec::new(), Vec::new());
+        acc.gather(&[1, 2, 3], &mut cols, &mut vals);
+        assert!(cols.is_empty() && vals.is_empty());
+    }
+}

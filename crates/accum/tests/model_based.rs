@@ -1,0 +1,180 @@
+//! Model-based property testing of every accumulator implementation.
+//!
+//! A `HashMap`-backed reference model executes the same random operation
+//! sequences as the real accumulators; after every operation the
+//! observable state (`written`, `gather`) must agree. This catches epoch
+//! aliasing, probe-chain, and reset bugs that fixed unit tests miss —
+//! exactly the state machines §III-C of the paper is about.
+
+use mspgemm_accum::{
+    Accumulator, DenseAccumulator, DenseExplicitReset, HashAccumulator, SortAccumulator,
+};
+use mspgemm_sparse::{Idx, PlusTimes};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// One step of an accumulator workout.
+#[derive(Clone, Debug)]
+enum Op {
+    BeginRow,
+    SetMask(Idx),
+    AccMasked(Idx, i32, i32),
+    AccAny(Idx, i32, i32),
+    CheckWritten(Idx),
+}
+
+const NCOLS: usize = 48;
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let col = 0..NCOLS as Idx;
+    prop_oneof![
+        1 => Just(Op::BeginRow),
+        3 => col.clone().prop_map(Op::SetMask),
+        4 => (col.clone(), 1..10i32, 1..10i32).prop_map(|(j, a, b)| Op::AccMasked(j, a, b)),
+        3 => (col.clone(), 1..10i32, 1..10i32).prop_map(|(j, a, b)| Op::AccAny(j, a, b)),
+        3 => col.prop_map(Op::CheckWritten),
+    ]
+}
+
+/// Reference model of the Accumulator protocol for one row.
+#[derive(Default)]
+struct Model {
+    mask: std::collections::HashSet<Idx>,
+    written: HashMap<Idx, f64>,
+}
+
+impl Model {
+    fn begin_row(&mut self) {
+        self.mask.clear();
+        self.written.clear();
+    }
+    fn set_mask(&mut self, j: Idx) {
+        // "admit" is idempotent and never downgrades a written slot
+        self.mask.insert(j);
+    }
+    fn acc_masked(&mut self, j: Idx, a: f64, b: f64) -> bool {
+        if self.mask.contains(&j) || self.written.contains_key(&j) {
+            *self.written.entry(j).or_insert(0.0) += a * b;
+            true
+        } else {
+            false
+        }
+    }
+    fn acc_any(&mut self, j: Idx, a: f64, b: f64) {
+        *self.written.entry(j).or_insert(0.0) += a * b;
+    }
+    fn gather(&self, mask_cols: &[Idx]) -> Vec<(Idx, f64)> {
+        mask_cols
+            .iter()
+            .filter_map(|j| self.written.get(j).map(|&v| (*j, v)))
+            .collect()
+    }
+}
+
+fn run_workout<A: Accumulator<PlusTimes>>(mut acc: A, ops: &[Op], rows: usize) {
+    // repeat the op sequence across several rows so narrow markers overflow
+    let mut model = Model::default();
+    for _ in 0..rows {
+        acc.begin_row();
+        model.begin_row();
+        for op in ops {
+            match *op {
+                Op::BeginRow => {
+                    acc.begin_row();
+                    model.begin_row();
+                }
+                Op::SetMask(j) => {
+                    acc.set_mask(j);
+                    model.set_mask(j);
+                }
+                Op::AccMasked(j, a, b) => {
+                    let got = acc.accumulate_masked(j, a as f64, b as f64);
+                    let want = model.acc_masked(j, a as f64, b as f64);
+                    assert_eq!(got, want, "accumulate_masked({j}) hit mismatch");
+                }
+                Op::AccAny(j, a, b) => {
+                    acc.accumulate_any(j, a as f64, b as f64);
+                    model.acc_any(j, a as f64, b as f64);
+                }
+                Op::CheckWritten(j) => {
+                    let got = acc.written(j);
+                    let want = model.written.get(&j).copied();
+                    assert_eq!(got, want, "written({j}) mismatch");
+                }
+            }
+        }
+        // final gather over a fixed sorted mask superset
+        let all_cols: Vec<Idx> = (0..NCOLS as Idx).collect();
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        acc.gather(&all_cols, &mut cols, &mut vals);
+        let want = model.gather(&all_cols);
+        let got: Vec<(Idx, f64)> = cols.into_iter().zip(vals).collect();
+        assert_eq!(got, want, "gather mismatch");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dense_u32_matches_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        run_workout(DenseAccumulator::<PlusTimes, u32>::new(NCOLS), &ops, 4);
+    }
+
+    #[test]
+    fn dense_u8_matches_model_across_overflows(ops in proptest::collection::vec(arb_op(), 1..40)) {
+        // 200 rows forces several u8 epoch overflows mid-sequence
+        run_workout(DenseAccumulator::<PlusTimes, u8>::new(NCOLS), &ops, 200);
+    }
+
+    #[test]
+    fn hash_u32_matches_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        run_workout(HashAccumulator::<PlusTimes, u32>::with_row_capacity(NCOLS), &ops, 4);
+    }
+
+    #[test]
+    fn hash_u8_matches_model_across_overflows(ops in proptest::collection::vec(arb_op(), 1..40)) {
+        run_workout(HashAccumulator::<PlusTimes, u8>::with_row_capacity(NCOLS), &ops, 200);
+    }
+
+    #[test]
+    fn explicit_reset_matches_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        run_workout(DenseExplicitReset::<PlusTimes>::new(NCOLS), &ops, 4);
+    }
+}
+
+// The sort accumulator's `set_mask`-after-write has append semantics, not
+// downgrade semantics, so it is exercised with the kernel-shaped protocol
+// only (mask fully loaded before any update — what the kernels actually do).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sort_matches_model_under_kernel_protocol(
+        mask in proptest::collection::btree_set(0..NCOLS as Idx, 0..24),
+        updates in proptest::collection::vec((0..NCOLS as Idx, 1..10i32, 1..10i32), 0..80),
+    ) {
+        let mut acc = SortAccumulator::<PlusTimes>::default();
+        let mut model = Model::default();
+        for _ in 0..3 {
+            acc.begin_row();
+            model.begin_row();
+            let mask_cols: Vec<Idx> = mask.iter().copied().collect();
+            for &j in &mask_cols {
+                acc.set_mask(j);
+                model.set_mask(j);
+            }
+            for &(j, a, b) in &updates {
+                let got = acc.accumulate_masked(j, a as f64, b as f64);
+                let want = model.acc_masked(j, a as f64, b as f64);
+                prop_assert_eq!(got, want);
+            }
+            let mut cols = Vec::new();
+            let mut vals = Vec::new();
+            acc.gather(&mask_cols, &mut cols, &mut vals);
+            let got: Vec<(Idx, f64)> = cols.into_iter().zip(vals).collect();
+            prop_assert_eq!(got, model.gather(&mask_cols));
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! 1. **fused vs two-step masking** — the paper's §III-B claim that the
+//!    two-step (SpGEMM then mask) implementation is never worth it;
+//! 2. **marker-based vs explicit accumulator reset** — the paper's §III-C
+//!    modification of GrB (implicit epoch bump vs explicit slot clearing);
+//! 3. **co-iteration factor κ at the extremes** — what pure push (κ=0)
+//!    and pure pull (κ=∞) cost relative to the hybrid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mspgemm_accum::{Accumulator, DenseAccumulator, DenseExplicitReset};
+use mspgemm_core::kernels::row_mask_accumulate;
+use mspgemm_core::{masked_spgemm, Config, IterationSpace};
+use mspgemm_gen::{suite_graph, suite_specs};
+use mspgemm_graph::grb::two_step_masked;
+use mspgemm_sparse::{Csr, PlusPair};
+use std::time::Duration;
+
+const SCALE: f64 = 0.08;
+
+fn graph(name: &str) -> Csr<u64> {
+    let spec = suite_specs().into_iter().find(|s| s.name == name).unwrap();
+    suite_graph(&spec, SCALE).spones(1u64)
+}
+
+fn bench_fused_vs_two_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_vs_two_step");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for name in ["com-LiveJournal", "GAP-road"] {
+        let a = graph(name);
+        let cfg = Config { n_tiles: 256, ..Config::default() };
+        group.bench_with_input(BenchmarkId::new("fused", name), &a, |b, a| {
+            b.iter(|| masked_spgemm::<PlusPair>(a, a, a, &cfg).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("two_step", name), &a, |b, a| {
+            b.iter(|| two_step_masked::<PlusPair>(a, a, a).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_reset_policy(c: &mut Criterion) {
+    // run the Fig. 5 kernel serially over all rows with the two dense
+    // accumulator reset policies; the kernel code is identical, only the
+    // accumulator differs — a pure reset-policy ablation
+    let a = graph("europe_osm");
+    let mut group = c.benchmark_group("reset_policy");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+
+    fn run_rows<A: Accumulator<PlusPair>>(a: &Csr<u64>, acc: &mut A) -> usize {
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for i in 0..a.nrows() {
+            let (mask_cols, _) = a.row(i);
+            row_mask_accumulate(i, a, a, mask_cols, acc, &mut cols, &mut vals);
+        }
+        cols.len()
+    }
+
+    group.bench_function("marker_u32", |b| {
+        let mut acc: DenseAccumulator<PlusPair, u32> = DenseAccumulator::new(a.ncols());
+        b.iter(|| run_rows(&a, &mut acc));
+    });
+    group.bench_function("marker_u8_with_overflow_resets", |b| {
+        let mut acc: DenseAccumulator<PlusPair, u8> = DenseAccumulator::new(a.ncols());
+        b.iter(|| run_rows(&a, &mut acc));
+    });
+    group.bench_function("explicit_reset_grb_style", |b| {
+        let mut acc: DenseExplicitReset<PlusPair> = DenseExplicitReset::new(a.ncols());
+        b.iter(|| run_rows(&a, &mut acc));
+    });
+    group.finish();
+}
+
+fn bench_kappa_extremes(c: &mut Criterion) {
+    let a = graph("circuit5M");
+    let mut group = c.benchmark_group("kappa_extremes_circuit");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1200));
+    for (label, kappa) in [("push_only_k0", 0.0), ("hybrid_k1", 1.0), ("pull_heavy_k100", 100.0)]
+    {
+        let cfg = Config {
+            n_tiles: 256,
+            iteration: IterationSpace::Hybrid { kappa },
+            ..Config::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| masked_spgemm::<PlusPair>(&a, &a, &a, &cfg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_2d_tiling(c: &mut Criterion) {
+    // com-Orkut: the widest working set of the suite — where column
+    // banding has a chance to pay (see driver2d's module docs)
+    let a = graph("com-Orkut");
+    let mut group = c.benchmark_group("tiling_2d");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1000));
+    let cfg = Config { n_tiles: 256, ..Config::default() };
+    for bands in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("col_bands", bands), &a, |b, a| {
+            b.iter(|| mspgemm_core::masked_spgemm_2d::<PlusPair>(a, a, a, &cfg, bands).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_sort_accumulator_outsider(c: &mut Criterion) {
+    // why the paper's sweep is dense/hash only: the sort accumulator on a
+    // short-row graph (its best case) vs the same graph on hash
+    let a = graph("GAP-road");
+    let mut group = c.benchmark_group("sort_accumulator");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for acc in [
+        mspgemm_accum::AccumulatorKind::Hash(mspgemm_accum::MarkerWidth::W32),
+        mspgemm_accum::AccumulatorKind::Sort,
+    ] {
+        let cfg = Config { accumulator: acc, n_tiles: 256, ..Config::default() };
+        group.bench_function(acc.label(), |b| {
+            b.iter(|| masked_spgemm::<PlusPair>(&a, &a, &a, &cfg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_reordering(c: &mut Criterion) {
+    // the paper's §V-A: "we did not perform any pre-processing of the
+    // data like partitioning the graphs, or reorganizing the data. For
+    // future work..." — quantify what that future work is worth on a
+    // low-locality graph (RCM) vs a hub-concentrating order (degree)
+    use mspgemm_sparse::permute::{degree_descending_order, permute_symmetric, rcm_order};
+    let a = graph("com-LiveJournal");
+    let orders: Vec<(&str, Csr<u64>)> = vec![
+        ("natural", a.clone()),
+        ("rcm", permute_symmetric(&a, &rcm_order(&a))),
+        ("degree_desc", permute_symmetric(&a, &degree_descending_order(&a))),
+    ];
+    let mut group = c.benchmark_group("reordering");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    let cfg = Config { n_tiles: 256, ..Config::default() };
+    for (label, g) in &orders {
+        group.bench_function(*label, |b| {
+            b.iter(|| masked_spgemm::<PlusPair>(g, g, g, &cfg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_dot_vs_saxpy(c: &mut Criterion) {
+    // the higher-level algorithm axis (Milaković et al., paper §VI-B):
+    // output-driven dot products vs row-wise saxpy. With M = A (triangle
+    // counting) the mask is as dense as A and saxpy should win — the
+    // sparse-mask case flips it, which we emulate by thinning the mask.
+    use mspgemm_core::masked_spgemm_dot;
+    use mspgemm_sparse::Csc;
+    let a = graph("com-LiveJournal");
+    let b_csc = Csc::from_csr(&a);
+    let thin_mask = a.select(|i, j, _| (i * 31 + j as usize) % 50 == 0); // ~2% of A
+    let mut group = c.benchmark_group("dot_vs_saxpy");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    let cfg = Config { n_tiles: 256, ..Config::default() };
+    for (label, mask) in [("mask_eq_a", &a), ("mask_2pct", &thin_mask)] {
+        group.bench_function(format!("saxpy/{label}"), |bch| {
+            bch.iter(|| masked_spgemm::<PlusPair>(&a, &a, mask, &cfg).unwrap());
+        });
+        group.bench_function(format!("dot/{label}"), |bch| {
+            bch.iter(|| masked_spgemm_dot::<PlusPair>(&a, &b_csc, mask, &cfg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fused_vs_two_step,
+    bench_reset_policy,
+    bench_kappa_extremes,
+    bench_2d_tiling,
+    bench_sort_accumulator_outsider,
+    bench_reordering,
+    bench_dot_vs_saxpy
+);
+criterion_main!(benches);

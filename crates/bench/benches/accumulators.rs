@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks: accumulator family × marker width
+//! (§III-C, Fig. 13), on the two classes where the paper finds the
+//! families diverge most — social (hash-friendly, wide rows) and road
+//! (dense-friendly, local writes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mspgemm_accum::AccumulatorKind;
+use mspgemm_core::{masked_spgemm, Config, IterationSpace};
+use mspgemm_gen::{suite_graph, suite_specs};
+use mspgemm_sparse::{Csr, PlusPair};
+use std::time::Duration;
+
+const SCALE: f64 = 0.08;
+
+fn graph(name: &str) -> Csr<u64> {
+    let spec = suite_specs().into_iter().find(|s| s.name == name).unwrap();
+    suite_graph(&spec, SCALE).spones(1u64)
+}
+
+fn bench_accumulators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accumulator");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for name in ["com-Orkut", "GAP-road"] {
+        let a = graph(name);
+        for accumulator in AccumulatorKind::all() {
+            let cfg = Config {
+                accumulator,
+                n_tiles: 256,
+                iteration: IterationSpace::Hybrid { kappa: 1.0 },
+                ..Config::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(accumulator.label(), name),
+                &a,
+                |bencher, a| {
+                    bencher.iter(|| masked_spgemm::<PlusPair>(a, a, a, &cfg).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Raw accumulator state-machine costs, no matrices: mask load + masked
+/// update + gather per row over synthetic columns. Isolates the Fig. 13
+/// marker-width effect from kernel traffic.
+fn bench_accumulator_primitives(c: &mut Criterion) {
+    use mspgemm_accum::{Accumulator, DenseAccumulator, HashAccumulator};
+    use mspgemm_sparse::PlusTimes;
+
+    let ncols = 1 << 16;
+    let row: Vec<u32> = (0..256u32).map(|i| (i * 251) % ncols as u32).collect();
+    let mut sorted = row.clone();
+    sorted.sort_unstable();
+
+    let mut group = c.benchmark_group("accumulator_primitives");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+
+    macro_rules! bench_acc {
+        ($label:expr, $make:expr) => {
+            group.bench_function($label, |bencher| {
+                let mut acc = $make;
+                let mut cols = Vec::new();
+                let mut vals = Vec::new();
+                bencher.iter(|| {
+                    acc.begin_row();
+                    for &j in &sorted {
+                        acc.set_mask(j);
+                    }
+                    for &j in &row {
+                        acc.accumulate_masked(j, 2.0, 3.0);
+                    }
+                    cols.clear();
+                    vals.clear();
+                    acc.gather(&sorted, &mut cols, &mut vals);
+                    cols.len()
+                });
+            });
+        };
+    }
+
+    bench_acc!("dense_u8", DenseAccumulator::<PlusTimes, u8>::new(ncols));
+    bench_acc!("dense_u32", DenseAccumulator::<PlusTimes, u32>::new(ncols));
+    bench_acc!("dense_u64", DenseAccumulator::<PlusTimes, u64>::new(ncols));
+    bench_acc!("hash_u8", HashAccumulator::<PlusTimes, u8>::with_row_capacity(256));
+    bench_acc!("hash_u32", HashAccumulator::<PlusTimes, u32>::with_row_capacity(256));
+    bench_acc!("hash_u64", HashAccumulator::<PlusTimes, u64>::with_row_capacity(256));
+    group.finish();
+}
+
+criterion_group!(benches, bench_accumulators, bench_accumulator_primitives);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks: the four iteration spaces (§III-B,
+//! Figs. 3/5/7/9) on one representative graph per structural class.
+//!
+//! Complements the `fig14` binary: where fig14 sweeps κ at full scale with
+//! the paper's timing protocol, this bench gives statistically-rigorous
+//! per-kernel comparisons at a scale Criterion can iterate quickly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mspgemm_core::{masked_spgemm, Config, IterationSpace};
+use mspgemm_gen::{suite_graph, suite_specs};
+use mspgemm_sparse::{Csr, PlusPair};
+use std::time::Duration;
+
+const SCALE: f64 = 0.08;
+const CLASSES: [&str; 4] = ["GAP-road", "com-Orkut", "uk-2002", "circuit5M"];
+
+fn graphs() -> Vec<(String, Csr<u64>)> {
+    suite_specs()
+        .iter()
+        .filter(|s| CLASSES.contains(&s.name))
+        .map(|s| (s.name.to_string(), suite_graph(s, SCALE).spones(1u64)))
+        .collect()
+}
+
+fn bench_iteration_spaces(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iteration_space");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for (name, a) in graphs() {
+        for (label, iteration) in [
+            ("vanilla", IterationSpace::Vanilla),
+            ("mask_accum", IterationSpace::MaskAccumulate),
+            ("coiterate", IterationSpace::CoIterate),
+            ("hybrid_k1", IterationSpace::Hybrid { kappa: 1.0 }),
+        ] {
+            // the pure co-iteration kernel on dense-row graphs is the
+            // paper's timeout case — skip the known-pathological pair to
+            // keep the suite fast (fig14 covers it with a budget)
+            if label == "vanilla" && name == "circuit5M" {
+                continue;
+            }
+            let cfg = Config { iteration, n_tiles: 256, ..Config::default() };
+            group.bench_with_input(
+                BenchmarkId::new(label, &name),
+                &a,
+                |bencher, a| {
+                    bencher.iter(|| masked_spgemm::<PlusPair>(a, a, a, &cfg).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_iteration_spaces);
+criterion_main!(benches);

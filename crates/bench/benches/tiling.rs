@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks: tiling strategy × schedule × tile count
+//! (§III-A, Figs. 10/11), plus the cost of the tiling machinery itself
+//! (work estimation and tile construction — the `O(nnz(A))` prologue the
+//! paper argues is cheap enough to always run).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mspgemm_core::{masked_spgemm, Config, IterationSpace};
+use mspgemm_gen::{suite_graph, suite_specs};
+use mspgemm_sched::{balanced_tiles, row_work, uniform_tiles, Schedule, TilingStrategy};
+use mspgemm_sparse::{Csr, PlusPair};
+use std::time::Duration;
+
+const SCALE: f64 = 0.08;
+
+fn graph(name: &str) -> Csr<u64> {
+    let spec = suite_specs().into_iter().find(|s| s.name == name).unwrap();
+    suite_graph(&spec, SCALE).spones(1u64)
+}
+
+fn bench_tiling_sweep(c: &mut Criterion) {
+    // hollywood: the socially-skewed case where tiling choices matter most
+    let a = graph("hollywood-2009");
+    let mut group = c.benchmark_group("tiling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for n_tiles in [8usize, 64, 512, 4096] {
+        for tiling in TilingStrategy::all() {
+            for schedule in Schedule::all() {
+                let cfg = Config {
+                    n_tiles,
+                    tiling,
+                    schedule,
+                    iteration: IterationSpace::MaskAccumulate,
+                    ..Config::default()
+                };
+                let id = format!("{}/{}", tiling.label(), schedule.label());
+                group.bench_with_input(BenchmarkId::new(id, n_tiles), &a, |bencher, a| {
+                    bencher.iter(|| masked_spgemm::<PlusPair>(a, a, a, &cfg).unwrap());
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_tiling_prologue(c: &mut Criterion) {
+    let a = graph("com-Orkut");
+    let work = row_work(&a, &a, &a);
+    let mut group = c.benchmark_group("tiling_prologue");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    group.bench_function("row_work_eq2", |b| {
+        b.iter(|| row_work(&a, &a, &a));
+    });
+    group.bench_function("balanced_tiles_2048", |b| {
+        b.iter(|| balanced_tiles(&work, 2048));
+    });
+    group.bench_function("uniform_tiles_2048", |b| {
+        b.iter(|| uniform_tiles(a.nrows(), 2048));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tiling_sweep, bench_tiling_prologue);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Figure 12 — the staged performance sweep and tuning flow, executed.
+//!
+//! The paper's Fig. 12 is a flow diagram: (1) determine the best tiling
+//! and scheduling combination without co-iteration, (2) tune the
+//! co-iteration factor κ, (3) tune the accumulator state representation.
+//! This binary runs that exact flow (via [`mspgemm_core::tune`]) on a
+//! configurable subset of the suite and prints each stage's measurements
+//! and choice.
+//!
+//! Run: `cargo run --release -p mspgemm-bench --bin fig12_tuner [graph...]`
+
+use mspgemm_bench::{BenchGraph, HarnessOptions};
+use mspgemm_core::{tune, TunerOptions};
+use mspgemm_gen::suite_specs;
+use mspgemm_sparse::PlusPair;
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    let wanted: Vec<String> = std::env::args().skip(1).collect();
+    let default = ["GAP-road", "com-Orkut", "circuit5M"];
+    let select = |name: &str| {
+        if wanted.is_empty() {
+            default.contains(&name)
+        } else {
+            wanted.iter().any(|w| w == name)
+        }
+    };
+
+    let threads = {
+        let c = mspgemm_core::Config { n_threads: opts.threads, ..Default::default() };
+        c.resolved_threads()
+    };
+    let tuner_opts = TunerOptions {
+        n_threads: opts.threads,
+        tile_counts: vec![threads, 16 * threads, 256 * threads, 1024 * threads],
+        ..TunerOptions::default()
+    };
+
+    for spec in suite_specs() {
+        if !select(spec.name) {
+            continue;
+        }
+        let g = BenchGraph::generate(&spec, &opts);
+        println!("\n================ {} ================", spec.name);
+        let report = tune::<PlusPair>(&g.a, &g.a, &g.a, &tuner_opts);
+
+        println!("stage 1 (tiling × scheduling, no co-iteration):");
+        for m in &report.stage1 {
+            println!("  {:<55} {:>9.2} ms", m.config.label(), m.time.as_secs_f64() * 1e3);
+        }
+        println!("stage 2 (κ sweep):");
+        for m in &report.stage2 {
+            println!("  {:<55} {:>9.2} ms", m.config.label(), m.time.as_secs_f64() * 1e3);
+        }
+        println!("stage 3 (marker width):");
+        for m in &report.stage3 {
+            println!("  {:<55} {:>9.2} ms", m.config.label(), m.time.as_secs_f64() * 1e3);
+        }
+        println!(
+            "==> tuned: {}  ({:.2} ms)",
+            report.best.label(),
+            report.best_time.as_secs_f64() * 1e3
+        );
+    }
+}

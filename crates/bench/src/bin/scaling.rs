@@ -1,0 +1,56 @@
+//! Thread-scaling study (supplementary — not a numbered figure).
+//!
+//! The paper fixes 64 threads; this binary sweeps the thread count so the
+//! reproduction can be validated on machines of any size, and reports the
+//! parallel efficiency of the recommended configuration per graph class.
+//!
+//! Run: `cargo run --release -p mspgemm-bench --bin scaling`
+
+use mspgemm_bench::{measure, write_csv, BenchGraph, HarnessOptions};
+use mspgemm_core::Config;
+use mspgemm_gen::suite_specs;
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut threads = vec![1usize];
+    while *threads.last().unwrap() * 2 <= max_threads {
+        threads.push(threads.last().unwrap() * 2);
+    }
+    if *threads.last().unwrap() != max_threads {
+        threads.push(max_threads);
+    }
+
+    let picks = ["GAP-road", "com-Orkut", "uk-2002", "circuit5M"];
+    let graphs: Vec<BenchGraph> = suite_specs()
+        .iter()
+        .filter(|s| picks.contains(&s.name))
+        .map(|s| {
+            eprintln!("[gen] {}", s.name);
+            BenchGraph::generate(s, &opts)
+        })
+        .collect();
+
+    println!("Thread scaling of the recommended configuration (best-of-N ms)");
+    let header: Vec<String> = threads.iter().map(|t| format!("{t}T")).collect();
+    println!("{:<16} {}", "graph", header.join("        "));
+    let mut rows = Vec::new();
+    for g in &graphs {
+        let mut line = format!("{:<16}", g.spec.name);
+        let mut t1 = None;
+        for &t in &threads {
+            let cfg = Config { n_threads: t, ..Config::default() };
+            let s = measure(g, &cfg, &opts);
+            let ms = s.ms_reported();
+            if t == 1 {
+                t1 = Some(ms);
+            }
+            let eff = t1.map(|base| base / (ms * t as f64) * 100.0).unwrap_or(100.0);
+            line += &format!(" {:>7.1} ({:>3.0}%)", ms, eff);
+            rows.push(format!("{},{},{:.4}", g.spec.name, t, ms));
+        }
+        println!("{line}");
+    }
+    let path = write_csv("scaling.csv", "graph,threads,time_ms", &rows).unwrap();
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,149 @@
+//! Configuration of the masked-SpGEMM driver — one field per performance
+//! dimension of the paper.
+
+use mspgemm_accum::{AccumulatorKind, MarkerWidth};
+use mspgemm_sched::{Schedule, TilingStrategy};
+
+/// How the multiplication and masking are traversed — the paper's second
+/// dimension (§III-B).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum IterationSpace {
+    /// Fig. 3: accumulate every intermediate product, intersect with the
+    /// mask only at gather time. "Requires a large buffer ... and incurs
+    /// many wasted computations."
+    Vanilla,
+    /// Fig. 5 (GrB): load `M[i,:]` into the accumulator first; updates
+    /// that miss the mask are discarded on the spot.
+    MaskAccumulate,
+    /// Fig. 7: for every fetched `B[k,:]`, iterate the *mask* and binary
+    /// search each mask column in the B row. Wins when
+    /// `nnz(M[i,:]) ≪ nnz(B[k,:])`; loses badly otherwise.
+    CoIterate,
+    /// Fig. 9: per `(i,k)` choose between the Fig. 5 linear scan and the
+    /// Fig. 7 co-iteration by comparing `W_co = nnz(M[i,:])·log₂nnz(B[k,:])`
+    /// (Eq. 3) against `κ·nnz(B[k,:])`. This is SuiteSparse's "push-pull";
+    /// κ = 1 is the paper's validated default (§V-B).
+    Hybrid {
+        /// The co-iteration factor κ.
+        kappa: f64,
+    },
+}
+
+impl IterationSpace {
+    /// Label used in benchmark reports.
+    pub fn label(&self) -> String {
+        match self {
+            IterationSpace::Vanilla => "vanilla".into(),
+            IterationSpace::MaskAccumulate => "mask-accum".into(),
+            IterationSpace::CoIterate => "coiterate".into(),
+            IterationSpace::Hybrid { kappa } => format!("hybrid(k={kappa})"),
+        }
+    }
+}
+
+/// Full driver configuration — the cross product the Fig. 10/11 sweeps
+/// explore.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Config {
+    /// Worker threads. `0` means "use all available cores".
+    pub n_threads: usize,
+    /// Number of row tiles. `0` means "one per thread" (GrB's choice).
+    pub n_tiles: usize,
+    /// Uniform vs FLOP-balanced tiling (Fig. 6).
+    pub tiling: TilingStrategy,
+    /// Static vs dynamic tile scheduling.
+    pub schedule: Schedule,
+    /// Accumulator family and marker width (§III-C, Fig. 13).
+    pub accumulator: AccumulatorKind,
+    /// Iteration space (§III-B, Fig. 14).
+    pub iteration: IterationSpace,
+}
+
+impl Default for Config {
+    /// The paper's recommended operating point: FLOP-balanced tiling with
+    /// an intermediate tile count, dynamic scheduling (§V-A: "within 10%
+    /// of the best configuration" for 80–90% of matrices), hybrid
+    /// iteration at κ = 1 (§V-B) and a hash accumulator with 32-bit
+    /// markers (§V-C).
+    fn default() -> Self {
+        Config {
+            n_threads: 0,
+            n_tiles: 2048,
+            tiling: TilingStrategy::FlopBalanced,
+            schedule: Schedule::Dynamic { chunk: 1 },
+            accumulator: AccumulatorKind::Hash(MarkerWidth::W32),
+            iteration: IterationSpace::Hybrid { kappa: 1.0 },
+        }
+    }
+}
+
+impl Config {
+    /// Resolve `n_threads == 0` to the machine's parallelism.
+    pub fn resolved_threads(&self) -> usize {
+        if self.n_threads > 0 {
+            self.n_threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+
+    /// Resolve `n_tiles == 0` to one tile per thread, and never more tiles
+    /// than output rows would make useful.
+    pub fn resolved_tiles(&self, nrows: usize) -> usize {
+        let t = if self.n_tiles > 0 { self.n_tiles } else { self.resolved_threads() };
+        t.min(nrows.max(1))
+    }
+
+    /// Compact label for reports: `balanced/dynamic/2048/hash32/hybrid(k=1)`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}/{}/{}",
+            self.tiling.label(),
+            self.schedule.label(),
+            self.n_tiles,
+            self.accumulator.label(),
+            self.iteration.label()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_papers_recommendation() {
+        let c = Config::default();
+        assert_eq!(c.tiling, TilingStrategy::FlopBalanced);
+        assert_eq!(c.schedule, Schedule::Dynamic { chunk: 1 });
+        assert_eq!(c.n_tiles, 2048);
+        assert!(matches!(c.iteration, IterationSpace::Hybrid { kappa } if kappa == 1.0));
+        assert_eq!(c.accumulator, AccumulatorKind::Hash(MarkerWidth::W32));
+    }
+
+    #[test]
+    fn thread_and_tile_resolution() {
+        let mut c = Config::default();
+        c.n_threads = 3;
+        assert_eq!(c.resolved_threads(), 3);
+        c.n_threads = 0;
+        assert!(c.resolved_threads() >= 1);
+        c.n_tiles = 0;
+        assert_eq!(c.resolved_tiles(1_000_000), c.resolved_threads());
+        c.n_tiles = 4096;
+        assert_eq!(c.resolved_tiles(100), 100, "tiles capped at row count");
+        assert_eq!(c.resolved_tiles(0), 1);
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        let c = Config::default();
+        let l = c.label();
+        assert!(l.contains("FlopBalanced"));
+        assert!(l.contains("Dynamic"));
+        assert!(l.contains("hash32"));
+        assert!(l.contains("hybrid"));
+        assert_eq!(IterationSpace::Vanilla.label(), "vanilla");
+        assert_eq!(IterationSpace::CoIterate.label(), "coiterate");
+    }
+}

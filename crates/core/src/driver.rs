@@ -1,0 +1,438 @@
+//! The parallel masked-SpGEMM driver: tiling × scheduling × accumulator ×
+//! iteration space, assembled exactly as the paper's experiments require.
+//!
+//! Pipeline per call (all passes are `O(nnz)` or better):
+//!
+//! 1. validate shapes;
+//! 2. estimate per-row work with Eq. 2 ([`mspgemm_sched::row_work`]) —
+//!    needed by FLOP-balanced tiling *and* by hash-accumulator sizing;
+//! 3. cut the rows into tiles ([`mspgemm_sched::tile`]);
+//! 4. run the tiles on the worker pool ([`mspgemm_sched::run_tiles`]);
+//!    each thread owns a private accumulator and each tile produces an
+//!    independent `(cols, vals, row_nnz)` fragment;
+//! 5. stitch the fragments into the output CSR.
+
+use crate::config::{Config, IterationSpace};
+use crate::kernels::{row_coiterate, row_hybrid, row_mask_accumulate, row_vanilla};
+use mspgemm_accum::{
+    Accumulator, AccumulatorKind, DenseAccumulator, HashAccumulator, MarkerWidth,
+    SortAccumulator,
+};
+use mspgemm_sched::{run_tiles, tile::tiles_for, work::row_work, ThreadReport, Tile};
+use mspgemm_sparse::{Csr, Idx, Semiring, SparseError};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Measurements from one driver invocation.
+#[derive(Clone, Debug)]
+pub struct RunStats {
+    /// Wall time of the parallel section (excludes work estimation and
+    /// tiling, matching how the paper times the kernel).
+    pub elapsed: Duration,
+    /// Wall time of the work-estimation + tiling prologue.
+    pub setup: Duration,
+    /// Per-thread execution reports (tiles run, busy time).
+    pub thread_reports: Vec<ThreadReport>,
+    /// Total Eq. 2 work estimate.
+    pub estimated_work: u64,
+    /// Entries in the output.
+    pub output_nnz: usize,
+    /// Tiles actually used (after resolution/clamping).
+    pub n_tiles: usize,
+    /// Threads actually used.
+    pub n_threads: usize,
+}
+
+impl RunStats {
+    /// `max(busy) / mean(busy)` over threads; 1.0 is perfect balance.
+    pub fn imbalance(&self) -> f64 {
+        mspgemm_sched::pool::imbalance(&self.thread_reports)
+    }
+}
+
+/// One tile's output fragment.
+struct TileResult<T> {
+    /// nnz of each row in the tile, in order.
+    row_nnz: Vec<u32>,
+    cols: Vec<Idx>,
+    vals: Vec<T>,
+}
+
+/// Compute `C = M ⊙ (A × B)` with the given configuration.
+///
+/// The mask is interpreted **structurally**: any stored entry of `M`
+/// admits the corresponding output position, regardless of its value
+/// (§IV-A: "the mask is treated as Boolean (i.e., its values are not
+/// used)").
+pub fn masked_spgemm<S: Semiring>(
+    a: &Csr<S::T>,
+    b: &Csr<S::T>,
+    mask: &Csr<S::T>,
+    config: &Config,
+) -> Result<Csr<S::T>, SparseError> {
+    masked_spgemm_with_stats::<S>(a, b, mask, config).map(|(c, _)| c)
+}
+
+/// [`masked_spgemm`] plus timing and load-balance measurements.
+pub fn masked_spgemm_with_stats<S: Semiring>(
+    a: &Csr<S::T>,
+    b: &Csr<S::T>,
+    mask: &Csr<S::T>,
+    config: &Config,
+) -> Result<(Csr<S::T>, RunStats), SparseError> {
+    if a.ncols() != b.nrows() {
+        return Err(SparseError::ShapeMismatch {
+            expected: (a.ncols(), b.ncols()),
+            found: (b.nrows(), b.ncols()),
+            context: "masked_spgemm: A×B inner dimension",
+        });
+    }
+    if mask.nrows() != a.nrows() || mask.ncols() != b.ncols() {
+        return Err(SparseError::ShapeMismatch {
+            expected: (a.nrows(), b.ncols()),
+            found: (mask.nrows(), mask.ncols()),
+            context: "masked_spgemm: mask shape",
+        });
+    }
+
+    let setup_start = Instant::now();
+    let work = row_work(a, b, mask);
+    let total_work: u64 = work.iter().sum();
+    let n_threads = config.resolved_threads();
+    let n_tiles = config.resolved_tiles(a.nrows());
+    let tiles = tiles_for(config.tiling, a.nrows(), &work, n_tiles);
+
+    // Hash-accumulator sizing (§III-C): mask-preload kernels can hold at
+    // most max_i nnz(M[i,:]) entries; the vanilla kernel must hold every
+    // distinct intermediate column, bounded by Σ nnz(B[k,:]) (= W[i] minus
+    // the mask term) and by ncols.
+    let max_row_entries = match config.iteration {
+        IterationSpace::Vanilla => (0..a.nrows())
+            .map(|i| ((work[i] - mask.row_nnz(i) as u64) as usize).min(b.ncols()))
+            .max()
+            .unwrap_or(1),
+        _ => (0..mask.nrows()).map(|i| mask.row_nnz(i)).max().unwrap_or(1),
+    };
+    let setup = setup_start.elapsed();
+
+    let start = Instant::now();
+    let (result, reports) = dispatch_accumulator::<S>(
+        a,
+        b,
+        mask,
+        config,
+        &tiles,
+        n_threads,
+        max_row_entries,
+    );
+    let elapsed = start.elapsed();
+
+    let stats = RunStats {
+        elapsed,
+        setup,
+        thread_reports: reports,
+        estimated_work: total_work,
+        output_nnz: result.nnz(),
+        n_tiles,
+        n_threads,
+    };
+    Ok((result, stats))
+}
+
+/// Monomorphise on the accumulator family × marker width.
+fn dispatch_accumulator<S: Semiring>(
+    a: &Csr<S::T>,
+    b: &Csr<S::T>,
+    mask: &Csr<S::T>,
+    config: &Config,
+    tiles: &[Tile],
+    n_threads: usize,
+    max_row_entries: usize,
+) -> (Csr<S::T>, Vec<ThreadReport>) {
+    let ncols = b.ncols();
+    match config.accumulator {
+        AccumulatorKind::Dense(w) => match w {
+            MarkerWidth::W8 => run_generic::<S, _, _>(a, b, mask, config, tiles, n_threads, || {
+                DenseAccumulator::<S, u8>::new(ncols)
+            }),
+            MarkerWidth::W16 => run_generic::<S, _, _>(a, b, mask, config, tiles, n_threads, || {
+                DenseAccumulator::<S, u16>::new(ncols)
+            }),
+            MarkerWidth::W32 => run_generic::<S, _, _>(a, b, mask, config, tiles, n_threads, || {
+                DenseAccumulator::<S, u32>::new(ncols)
+            }),
+            MarkerWidth::W64 => run_generic::<S, _, _>(a, b, mask, config, tiles, n_threads, || {
+                DenseAccumulator::<S, u64>::new(ncols)
+            }),
+        },
+        AccumulatorKind::Hash(w) => match w {
+            MarkerWidth::W8 => run_generic::<S, _, _>(a, b, mask, config, tiles, n_threads, || {
+                HashAccumulator::<S, u8>::with_row_capacity(max_row_entries)
+            }),
+            MarkerWidth::W16 => run_generic::<S, _, _>(a, b, mask, config, tiles, n_threads, || {
+                HashAccumulator::<S, u16>::with_row_capacity(max_row_entries)
+            }),
+            MarkerWidth::W32 => run_generic::<S, _, _>(a, b, mask, config, tiles, n_threads, || {
+                HashAccumulator::<S, u32>::with_row_capacity(max_row_entries)
+            }),
+            MarkerWidth::W64 => run_generic::<S, _, _>(a, b, mask, config, tiles, n_threads, || {
+                HashAccumulator::<S, u64>::with_row_capacity(max_row_entries)
+            }),
+        },
+        AccumulatorKind::Sort => run_generic::<S, _, _>(a, b, mask, config, tiles, n_threads, || {
+            SortAccumulator::<S>::new(max_row_entries)
+        }),
+    }
+}
+
+/// The monomorphic parallel run: schedule tiles, compute fragments, stitch.
+fn run_generic<S, A, F>(
+    a: &Csr<S::T>,
+    b: &Csr<S::T>,
+    mask: &Csr<S::T>,
+    config: &Config,
+    tiles: &[Tile],
+    n_threads: usize,
+    make_acc: F,
+) -> (Csr<S::T>, Vec<ThreadReport>)
+where
+    S: Semiring,
+    A: Accumulator<S>,
+    F: Fn() -> A + Sync,
+{
+    let iteration = config.iteration;
+    let results: Vec<OnceLock<TileResult<S::T>>> =
+        (0..tiles.len()).map(|_| OnceLock::new()).collect();
+
+    let reports = run_tiles(
+        n_threads,
+        tiles.len(),
+        config.schedule,
+        |_t| make_acc(),
+        |acc, tile_idx| {
+            let tile = tiles[tile_idx];
+            let mut row_nnz = Vec::with_capacity(tile.len());
+            let mut cols = Vec::new();
+            let mut vals = Vec::new();
+            for i in tile.rows() {
+                let before = cols.len();
+                let (mask_cols, _) = mask.row(i);
+                match iteration {
+                    IterationSpace::Vanilla => {
+                        row_vanilla(i, a, b, mask_cols, acc, &mut cols, &mut vals)
+                    }
+                    IterationSpace::MaskAccumulate => {
+                        row_mask_accumulate(i, a, b, mask_cols, acc, &mut cols, &mut vals)
+                    }
+                    IterationSpace::CoIterate => {
+                        row_coiterate(i, a, b, mask_cols, acc, &mut cols, &mut vals)
+                    }
+                    IterationSpace::Hybrid { kappa } => {
+                        row_hybrid(i, a, b, mask_cols, kappa, acc, &mut cols, &mut vals)
+                    }
+                }
+                row_nnz.push((cols.len() - before) as u32);
+            }
+            results[tile_idx]
+                .set(TileResult { row_nnz, cols, vals })
+                .unwrap_or_else(|_| panic!("tile {tile_idx} executed twice"));
+        },
+    );
+
+    // --- stitch fragments (tiles are contiguous, in row order) ---
+    let nnz: usize = results
+        .iter()
+        .map(|r| r.get().map_or(0, |t| t.cols.len()))
+        .sum();
+    let mut row_ptr = Vec::with_capacity(a.nrows() + 1);
+    row_ptr.push(0usize);
+    let mut out_cols = Vec::with_capacity(nnz);
+    let mut out_vals = Vec::with_capacity(nnz);
+    let mut acc_nnz = 0usize;
+    for r in &results {
+        let t = r.get().expect("all tiles must have run");
+        for &rn in &t.row_nnz {
+            acc_nnz += rn as usize;
+            row_ptr.push(acc_nnz);
+        }
+        out_cols.extend_from_slice(&t.cols);
+        out_vals.extend_from_slice(&t.vals);
+    }
+    debug_assert_eq!(row_ptr.len(), a.nrows() + 1);
+    let c = Csr::from_parts_unchecked(a.nrows(), b.ncols(), row_ptr, out_cols, out_vals);
+    (c, reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspgemm_sched::{Schedule, TilingStrategy};
+    use mspgemm_sparse::{Coo, Dense, PlusPair, PlusTimes};
+
+    fn lcg_matrix(nrows: usize, ncols: usize, per_row: usize, seed: u64) -> Csr<f64> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut coo = Coo::new(nrows, ncols);
+        for i in 0..nrows {
+            for _ in 0..per_row {
+                let j = next() % ncols;
+                coo.push(i, j, ((next() % 9) + 1) as f64);
+            }
+        }
+        coo.to_csr_with(|a, _| a)
+    }
+
+    fn all_configs() -> Vec<Config> {
+        let mut v = Vec::new();
+        for tiling in TilingStrategy::all() {
+            for schedule in Schedule::all() {
+                for accumulator in AccumulatorKind::all() {
+                    for iteration in [
+                        IterationSpace::Vanilla,
+                        IterationSpace::MaskAccumulate,
+                        IterationSpace::CoIterate,
+                        IterationSpace::Hybrid { kappa: 1.0 },
+                    ] {
+                        v.push(Config {
+                            n_threads: 2,
+                            n_tiles: 7,
+                            tiling,
+                            schedule,
+                            accumulator,
+                            iteration,
+                        });
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn every_configuration_matches_the_oracle() {
+        let a = lcg_matrix(50, 50, 5, 1);
+        let b = lcg_matrix(50, 50, 4, 2);
+        let mask = lcg_matrix(50, 50, 6, 3);
+        let want = Dense::masked_matmul::<PlusTimes, f64>(&a, &b, &mask);
+        for cfg in all_configs() {
+            let got = masked_spgemm::<PlusTimes>(&a, &b, &mask, &cfg).unwrap();
+            assert_eq!(got, want, "config {}", cfg.label());
+        }
+    }
+
+    #[test]
+    fn triangle_counting_setup_a_a_a() {
+        // C = A ⊙ (A×A) over plus_pair: C[i,j] counts wedges; the oracle
+        // must agree for the exact paper workload
+        let a = lcg_matrix(64, 64, 6, 9);
+        let ap = a.spones(1u64);
+        let want = Dense::masked_matmul::<PlusPair, u64>(&ap, &ap, &ap);
+        let got = masked_spgemm::<PlusPair>(&ap, &ap, &ap, &Config::default()).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let a = lcg_matrix(4, 5, 2, 1);
+        let b = lcg_matrix(6, 4, 2, 2); // inner dim 5 != 6
+        let m = lcg_matrix(4, 4, 2, 3);
+        assert!(matches!(
+            masked_spgemm::<PlusTimes>(&a, &b, &m, &Config::default()),
+            Err(SparseError::ShapeMismatch { .. })
+        ));
+        let b2 = lcg_matrix(5, 4, 2, 2);
+        let bad_mask = lcg_matrix(3, 4, 2, 3);
+        assert!(matches!(
+            masked_spgemm::<PlusTimes>(&a, &b2, &bad_mask, &Config::default()),
+            Err(SparseError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let a = lcg_matrix(100, 100, 5, 4);
+        let cfg = Config { n_threads: 2, n_tiles: 16, ..Config::default() };
+        let (c, stats) = masked_spgemm_with_stats::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+        assert_eq!(stats.output_nnz, c.nnz());
+        assert_eq!(stats.n_threads, 2);
+        assert_eq!(stats.n_tiles, 16);
+        assert!(stats.estimated_work > 0);
+        assert_eq!(stats.thread_reports.len(), 2);
+        assert_eq!(
+            stats.thread_reports.iter().map(|r| r.tiles_run).sum::<usize>(),
+            16
+        );
+        assert!(stats.imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn more_tiles_than_rows_is_fine() {
+        let a = lcg_matrix(10, 10, 3, 5);
+        let cfg = Config { n_threads: 2, n_tiles: 1000, ..Config::default() };
+        let want = Dense::masked_matmul::<PlusTimes, f64>(&a, &a, &a);
+        let got = masked_spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn single_tile_single_thread() {
+        let a = lcg_matrix(30, 30, 4, 6);
+        let cfg = Config { n_threads: 1, n_tiles: 1, ..Config::default() };
+        let want = Dense::masked_matmul::<PlusTimes, f64>(&a, &a, &a);
+        assert_eq!(masked_spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap(), want);
+    }
+
+    #[test]
+    fn empty_matrices() {
+        let a: Csr<f64> = Csr::zeros(10, 10);
+        let c = masked_spgemm::<PlusTimes>(&a, &a, &a, &Config::default()).unwrap();
+        assert_eq!(c.nnz(), 0);
+        assert_eq!(c.nrows(), 10);
+    }
+
+    #[test]
+    fn empty_mask_gives_empty_output() {
+        let a = lcg_matrix(20, 20, 4, 8);
+        let mask: Csr<f64> = Csr::zeros(20, 20);
+        for it in [
+            IterationSpace::Vanilla,
+            IterationSpace::MaskAccumulate,
+            IterationSpace::CoIterate,
+            IterationSpace::Hybrid { kappa: 1.0 },
+        ] {
+            let cfg = Config { iteration: it, n_threads: 2, ..Config::default() };
+            let c = masked_spgemm::<PlusTimes>(&a, &a, &mask, &cfg).unwrap();
+            assert_eq!(c.nnz(), 0, "{}", it.label());
+        }
+    }
+
+    #[test]
+    fn rectangular_multiply() {
+        let a = lcg_matrix(12, 20, 4, 10);
+        let b = lcg_matrix(20, 8, 3, 11);
+        let mask = lcg_matrix(12, 8, 4, 12);
+        let want = Dense::masked_matmul::<PlusTimes, f64>(&a, &b, &mask);
+        for it in [IterationSpace::MaskAccumulate, IterationSpace::Hybrid { kappa: 1.0 }] {
+            let cfg = Config { iteration: it, n_threads: 2, n_tiles: 3, ..Config::default() };
+            assert_eq!(masked_spgemm::<PlusTimes>(&a, &b, &mask, &cfg).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn mask_values_are_ignored_structurally() {
+        // mask with value 0.0 stored: still admits the position
+        let a = lcg_matrix(10, 10, 4, 13);
+        let mut mask = lcg_matrix(10, 10, 4, 14);
+        for v in mask.values_mut() {
+            *v = 0.0;
+        }
+        let want = Dense::masked_matmul::<PlusTimes, f64>(&a, &a, &mask);
+        let got = masked_spgemm::<PlusTimes>(&a, &a, &mask, &Config::default()).unwrap();
+        assert_eq!(got, want);
+        // oracle also treats the mask structurally, so cross-check nnz > 0
+        assert!(got.nnz() > 0, "structural mask should admit entries");
+    }
+}

@@ -1,0 +1,151 @@
+//! 2-D (row × column) tiling — the paper's stated future work.
+//!
+//! "For future work, we will investigate other data formats than CSR and
+//! possibly extend the experimentation to two dimensional tiling" (§V-A).
+//! This module implements the natural CSR-compatible version: partition
+//! the *column* dimension of `B`/`M`/`C` into contiguous bands, run the
+//! 1-D row-tiled driver on each band, and stitch the bands back together.
+//!
+//! Why it can help: the 1-D driver streams whole rows of `B` through the
+//! accumulator, so for wide graphs the per-row working set is
+//! `Σ nnz(B[k,:])` — the com-Orkut cache-eviction effect of §V-B. A column
+//! band divides that working set (and the dense accumulator's state array)
+//! by the band count, at the cost of reading `A` once per band. The
+//! ablation bench (`bench ablations`, group `tiling_2d`) measures the
+//! trade-off; on small-L3 machines the crossover appears exactly where
+//! the paper's reasoning predicts — when `B`'s bandless working set stops
+//! fitting in cache.
+
+use crate::config::Config;
+use crate::driver::masked_spgemm;
+use mspgemm_sparse::{Csr, Semiring, SparseError};
+
+/// Compute `C = M ⊙ (A × B)` with `col_bands` column bands on top of the
+/// 1-D configuration `config`. `col_bands == 1` is identical to
+/// [`masked_spgemm`].
+pub fn masked_spgemm_2d<S: Semiring>(
+    a: &Csr<S::T>,
+    b: &Csr<S::T>,
+    mask: &Csr<S::T>,
+    config: &Config,
+    col_bands: usize,
+) -> Result<Csr<S::T>, SparseError> {
+    assert!(col_bands > 0, "need at least one column band");
+    if col_bands == 1 || b.ncols() <= col_bands {
+        return masked_spgemm::<S>(a, b, mask, config);
+    }
+    if a.ncols() != b.nrows() {
+        return Err(SparseError::ShapeMismatch {
+            expected: (a.ncols(), b.ncols()),
+            found: (b.nrows(), b.ncols()),
+            context: "masked_spgemm_2d: A×B inner dimension",
+        });
+    }
+    if mask.nrows() != a.nrows() || mask.ncols() != b.ncols() {
+        return Err(SparseError::ShapeMismatch {
+            expected: (a.nrows(), b.ncols()),
+            found: (mask.nrows(), mask.ncols()),
+            context: "masked_spgemm_2d: mask shape",
+        });
+    }
+
+    let n = b.ncols();
+    let band_width = n.div_ceil(col_bands);
+    let mut parts: Vec<Csr<S::T>> = Vec::with_capacity(col_bands);
+    for band in 0..col_bands {
+        let lo = band * band_width;
+        let hi = ((band + 1) * band_width).min(n);
+        if lo >= hi {
+            break;
+        }
+        let b_band = b.col_slice(lo, hi);
+        let m_band = mask.col_slice(lo, hi);
+        // rows of A are reused across bands; B/M shrink per band
+        parts.push(masked_spgemm::<S>(a, &b_band, &m_band, config)?);
+    }
+    let refs: Vec<&Csr<S::T>> = parts.iter().collect();
+    Ok(Csr::hconcat(&refs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IterationSpace;
+    use mspgemm_sparse::{Coo, Dense, PlusTimes};
+
+    fn lcg_matrix(nrows: usize, ncols: usize, per_row: usize, seed: u64) -> Csr<f64> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut coo = Coo::new(nrows, ncols);
+        for i in 0..nrows {
+            for _ in 0..per_row {
+                coo.push(i, next() % ncols, ((next() % 9) + 1) as f64);
+            }
+        }
+        coo.to_csr_with(|a, _| a)
+    }
+
+    #[test]
+    fn band_counts_all_agree_with_oracle() {
+        let a = lcg_matrix(40, 40, 5, 1);
+        let b = lcg_matrix(40, 40, 4, 2);
+        let m = lcg_matrix(40, 40, 6, 3);
+        let want = Dense::masked_matmul::<PlusTimes, f64>(&a, &b, &m);
+        let cfg = Config { n_threads: 2, n_tiles: 8, ..Config::default() };
+        for bands in [1, 2, 3, 7, 16, 40] {
+            let got = masked_spgemm_2d::<PlusTimes>(&a, &b, &m, &cfg, bands).unwrap();
+            assert_eq!(got, want, "{bands} bands");
+        }
+    }
+
+    #[test]
+    fn bands_exceeding_columns_degrade_to_1d() {
+        let a = lcg_matrix(10, 10, 3, 4);
+        let cfg = Config { n_threads: 1, ..Config::default() };
+        let one = masked_spgemm_2d::<PlusTimes>(&a, &a, &a, &cfg, 1).unwrap();
+        let many = masked_spgemm_2d::<PlusTimes>(&a, &a, &a, &cfg, 1000).unwrap();
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn works_with_every_iteration_space() {
+        let a = lcg_matrix(30, 30, 4, 5);
+        let m = lcg_matrix(30, 30, 5, 6);
+        let want = Dense::masked_matmul::<PlusTimes, f64>(&a, &a, &m);
+        for it in [
+            IterationSpace::Vanilla,
+            IterationSpace::MaskAccumulate,
+            IterationSpace::CoIterate,
+            IterationSpace::Hybrid { kappa: 1.0 },
+        ] {
+            let cfg = Config { iteration: it, n_threads: 2, n_tiles: 4, ..Config::default() };
+            let got = masked_spgemm_2d::<PlusTimes>(&a, &a, &m, &cfg, 4).unwrap();
+            assert_eq!(got, want, "{}", it.label());
+        }
+    }
+
+    #[test]
+    fn rectangular_bands() {
+        let a = lcg_matrix(12, 20, 4, 7);
+        let b = lcg_matrix(20, 33, 3, 8);
+        let m = lcg_matrix(12, 33, 4, 9);
+        let want = Dense::masked_matmul::<PlusTimes, f64>(&a, &b, &m);
+        let cfg = Config { n_threads: 2, n_tiles: 3, ..Config::default() };
+        for bands in [2, 5, 11] {
+            let got = masked_spgemm_2d::<PlusTimes>(&a, &b, &m, &cfg, bands).unwrap();
+            assert_eq!(got, want, "{bands} bands");
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = lcg_matrix(4, 5, 2, 1);
+        let b = lcg_matrix(6, 8, 2, 2);
+        let m = lcg_matrix(4, 8, 2, 3);
+        let cfg = Config::default();
+        assert!(masked_spgemm_2d::<PlusTimes>(&a, &b, &m, &cfg, 2).is_err());
+    }
+}

@@ -1,0 +1,343 @@
+//! The four row-wise saxpy masked-SpGEMM kernels (Figs. 3, 5, 7, 9 of the
+//! paper).
+//!
+//! Each kernel computes one output row `C[i,:]` given `A[i,:]`, the whole
+//! of `B`, and the mask row `M[i,:]`, appending the surviving entries (in
+//! sorted column order) to the caller's output buffers. The kernels are
+//! generic over the [`Semiring`] and the [`Accumulator`], so the driver
+//! monomorphises `4 iteration spaces × 2 accumulator families × 4 marker
+//! widths` into straight-line code.
+
+use mspgemm_accum::Accumulator;
+use mspgemm_sparse::{Csr, Idx, Semiring};
+
+/// Fig. 3 — the vanilla kernel: accumulate **all** intermediate products,
+/// intersect with the mask only at the end.
+///
+/// ```text
+/// for non-zero column k in A[i,:]:
+///     for nonzero column j in B[k,:]:
+///         acc[i,j] = a*x + y        # no mask check
+/// for non-zero column j in acc[i,:]:
+///     if M[i,j] is zero: acc[i,j] = 0
+/// C[i,:] = acc.gather()
+/// ```
+#[inline]
+pub fn row_vanilla<S: Semiring, A: Accumulator<S>>(
+    i: usize,
+    a: &Csr<S::T>,
+    b: &Csr<S::T>,
+    mask_cols: &[Idx],
+    acc: &mut A,
+    out_cols: &mut Vec<Idx>,
+    out_vals: &mut Vec<S::T>,
+) {
+    acc.begin_row();
+    let (acols, avals) = a.row(i);
+    for (&k, &av) in acols.iter().zip(avals) {
+        let (bcols, bvals) = b.row(k as usize);
+        for (&j, &bv) in bcols.iter().zip(bvals) {
+            acc.accumulate_any(j, av, bv);
+        }
+    }
+    // late mask intersection (Fig. 3 lines 14-16) fused into the gather
+    acc.gather(mask_cols, out_cols, out_vals);
+}
+
+/// Fig. 5 — the GrB kernel: load the mask into the accumulator first, then
+/// discard updates that miss it.
+#[inline]
+pub fn row_mask_accumulate<S: Semiring, A: Accumulator<S>>(
+    i: usize,
+    a: &Csr<S::T>,
+    b: &Csr<S::T>,
+    mask_cols: &[Idx],
+    acc: &mut A,
+    out_cols: &mut Vec<Idx>,
+    out_vals: &mut Vec<S::T>,
+) {
+    acc.begin_row();
+    for &j in mask_cols {
+        acc.set_mask(j);
+    }
+    let (acols, avals) = a.row(i);
+    for (&k, &av) in acols.iter().zip(avals) {
+        let (bcols, bvals) = b.row(k as usize);
+        for (&j, &bv) in bcols.iter().zip(bvals) {
+            acc.accumulate_masked(j, av, bv);
+        }
+    }
+    acc.gather(mask_cols, out_cols, out_vals);
+}
+
+/// Fig. 7 — pure co-iteration: for every fetched `B[k,:]`, iterate the
+/// *mask* and binary search each mask column within the B row. Only the
+/// matching elements of B are ever loaded.
+#[inline]
+pub fn row_coiterate<S: Semiring, A: Accumulator<S>>(
+    i: usize,
+    a: &Csr<S::T>,
+    b: &Csr<S::T>,
+    mask_cols: &[Idx],
+    acc: &mut A,
+    out_cols: &mut Vec<Idx>,
+    out_vals: &mut Vec<S::T>,
+) {
+    acc.begin_row();
+    let (acols, avals) = a.row(i);
+    for (&k, &av) in acols.iter().zip(avals) {
+        let (bcols, bvals) = b.row(k as usize);
+        for &j in mask_cols {
+            if let Ok(pos) = bcols.binary_search(&j) {
+                acc.accumulate_any(j, av, bvals[pos]);
+            }
+        }
+    }
+    acc.gather(mask_cols, out_cols, out_vals);
+}
+
+/// Fig. 9 — the hybrid kernel: per fetched row `B[k,:]`, compare the
+/// co-iteration cost `W_co = nnz(M[i,:]) · log₂ nnz(B[k,:])` (Eq. 3)
+/// against `κ · nnz(B[k,:])` and take the cheaper traversal. This is the
+/// kernel that rescues `circuit5M` in the paper (Fig. 14d).
+#[inline]
+pub fn row_hybrid<S: Semiring, A: Accumulator<S>>(
+    i: usize,
+    a: &Csr<S::T>,
+    b: &Csr<S::T>,
+    mask_cols: &[Idx],
+    kappa: f64,
+    acc: &mut A,
+    out_cols: &mut Vec<Idx>,
+    out_vals: &mut Vec<S::T>,
+) {
+    acc.begin_row();
+    for &j in mask_cols {
+        acc.set_mask(j);
+    }
+    let mask_nnz = mask_cols.len() as f64;
+    let (acols, avals) = a.row(i);
+    for (&k, &av) in acols.iter().zip(avals) {
+        let (bcols, bvals) = b.row(k as usize);
+        if bcols.is_empty() {
+            continue;
+        }
+        let w_co = mask_nnz * log2_ceil(bcols.len());
+        if w_co < kappa * bcols.len() as f64 {
+            // co-iterate M[i,:] with B[k,:] (Fig. 9 lines 11-18)
+            for &j in mask_cols {
+                if let Ok(pos) = bcols.binary_search(&j) {
+                    acc.accumulate_masked(j, av, bvals[pos]);
+                }
+            }
+        } else {
+            // linear scan of B[k,:] (Fig. 9 lines 20-26)
+            for (&j, &bv) in bcols.iter().zip(bvals) {
+                acc.accumulate_masked(j, av, bv);
+            }
+        }
+    }
+    acc.gather(mask_cols, out_cols, out_vals);
+}
+
+/// `⌈log₂ n⌉` as f64, with `log₂ 1 = 1` so a one-element row still costs a
+/// comparison (the Eq. 3 model charges at least one probe per mask entry).
+#[inline(always)]
+fn log2_ceil(n: usize) -> f64 {
+    debug_assert!(n > 0);
+    ((usize::BITS - (n - 1).leading_zeros()) as f64).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspgemm_accum::{DenseAccumulator, HashAccumulator};
+    use mspgemm_sparse::{Coo, Dense, PlusTimes};
+
+    /// Deterministic pseudo-random sparse matrix (no rand dependency in
+    /// unit tests; integration tests use the real generators).
+    fn lcg_matrix(nrows: usize, ncols: usize, per_row: usize, seed: u64) -> Csr<f64> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut coo = Coo::new(nrows, ncols);
+        for i in 0..nrows {
+            for _ in 0..per_row {
+                let j = next() % ncols;
+                coo.push(i, j, ((next() % 9) + 1) as f64);
+            }
+        }
+        coo.to_csr_with(|a, _| a)
+    }
+
+    /// Run one kernel over all rows with a given accumulator and collect
+    /// the output matrix.
+    fn run_all<A: Accumulator<PlusTimes>>(
+        kernel: impl Fn(
+            usize,
+            &Csr<f64>,
+            &Csr<f64>,
+            &[Idx],
+            &mut A,
+            &mut Vec<Idx>,
+            &mut Vec<f64>,
+        ),
+        a: &Csr<f64>,
+        b: &Csr<f64>,
+        mask: &Csr<f64>,
+        acc: &mut A,
+    ) -> Csr<f64> {
+        let mut row_ptr = vec![0usize; a.nrows() + 1];
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for i in 0..a.nrows() {
+            kernel(i, a, b, mask.row(i).0, acc, &mut cols, &mut vals);
+            row_ptr[i + 1] = cols.len();
+        }
+        Csr::from_parts_unchecked(a.nrows(), b.ncols(), row_ptr, cols, vals)
+    }
+
+    fn oracle(a: &Csr<f64>, b: &Csr<f64>, mask: &Csr<f64>) -> Csr<f64> {
+        Dense::masked_matmul::<PlusTimes, f64>(a, b, mask)
+    }
+
+    #[test]
+    fn all_kernels_match_oracle_dense_acc() {
+        let a = lcg_matrix(40, 40, 5, 1);
+        let b = lcg_matrix(40, 40, 4, 2);
+        let mask = lcg_matrix(40, 40, 6, 3);
+        let want = oracle(&a, &b, &mask);
+
+        let mut acc: DenseAccumulator<PlusTimes, u32> = DenseAccumulator::new(40);
+        assert_eq!(run_all(row_vanilla, &a, &b, &mask, &mut acc), want, "vanilla");
+        assert_eq!(
+            run_all(row_mask_accumulate, &a, &b, &mask, &mut acc),
+            want,
+            "mask-accumulate"
+        );
+        assert_eq!(run_all(row_coiterate, &a, &b, &mask, &mut acc), want, "coiterate");
+        for kappa in [0.0, 0.5, 1.0, 100.0] {
+            let got = run_all(
+                |i, a, b, m, acc, oc, ov| row_hybrid(i, a, b, m, kappa, acc, oc, ov),
+                &a,
+                &b,
+                &mask,
+                &mut acc,
+            );
+            assert_eq!(got, want, "hybrid kappa={kappa}");
+        }
+    }
+
+    #[test]
+    fn all_kernels_match_oracle_hash_acc() {
+        let a = lcg_matrix(30, 30, 4, 7);
+        let b = lcg_matrix(30, 30, 5, 8);
+        let mask = lcg_matrix(30, 30, 5, 9);
+        let want = oracle(&a, &b, &mask);
+
+        // hash capacity: vanilla needs the distinct-intermediate bound
+        let max_inter: usize =
+            (0..30).map(|i| a.row(i).0.iter().map(|&k| b.row_nnz(k as usize)).sum::<usize>())
+                .max()
+                .unwrap()
+                .min(30);
+        let mut acc: HashAccumulator<PlusTimes, u32> =
+            HashAccumulator::with_row_capacity(max_inter.max(8));
+        assert_eq!(run_all(row_vanilla, &a, &b, &mask, &mut acc), want, "vanilla");
+        assert_eq!(
+            run_all(row_mask_accumulate, &a, &b, &mask, &mut acc),
+            want,
+            "mask-accumulate"
+        );
+        assert_eq!(run_all(row_coiterate, &a, &b, &mask, &mut acc), want, "coiterate");
+        let got = run_all(
+            |i, a, b, m, acc, oc, ov| row_hybrid(i, a, b, m, 1.0, acc, oc, ov),
+            &a,
+            &b,
+            &mask,
+            &mut acc,
+        );
+        assert_eq!(got, want, "hybrid");
+    }
+
+    #[test]
+    fn hybrid_extremes_degenerate_to_pure_kernels() {
+        // κ = 0 ⇒ co-iteration never chosen (w_co < 0 is false) ⇒ Fig. 5
+        // κ = ∞ ⇒ co-iteration always chosen ⇒ Fig. 7 + mask preload
+        let a = lcg_matrix(20, 20, 4, 4);
+        let mask = lcg_matrix(20, 20, 3, 5);
+        let mut acc: DenseAccumulator<PlusTimes, u32> = DenseAccumulator::new(20);
+        let want = oracle(&a, &a, &mask);
+        for kappa in [0.0, f64::INFINITY] {
+            let got = run_all(
+                |i, a, b, m, acc, oc, ov| row_hybrid(i, a, b, m, kappa, acc, oc, ov),
+                &a,
+                &a,
+                &mask,
+                &mut acc,
+            );
+            assert_eq!(got, want, "kappa={kappa}");
+        }
+    }
+
+    #[test]
+    fn empty_mask_row_produces_empty_output_row() {
+        let a = lcg_matrix(10, 10, 5, 11);
+        let mask: Csr<f64> = Csr::zeros(10, 10);
+        let mut acc: DenseAccumulator<PlusTimes, u32> = DenseAccumulator::new(10);
+        let c = run_all(row_mask_accumulate, &a, &a, &mask, &mut acc);
+        assert_eq!(c.nnz(), 0);
+        let c = run_all(row_vanilla, &a, &a, &mask, &mut acc);
+        assert_eq!(c.nnz(), 0);
+    }
+
+    #[test]
+    fn empty_a_row_produces_empty_output_row() {
+        // row 0 of A empty: C[0,:] must be empty regardless of mask
+        let mut coo = Coo::new(3, 3);
+        coo.push(1, 0, 2.0);
+        coo.push(2, 1, 3.0);
+        let a = coo.to_csr_sum();
+        let mask = lcg_matrix(3, 3, 3, 1);
+        let mut acc: DenseAccumulator<PlusTimes, u32> = DenseAccumulator::new(3);
+        let c = run_all(row_hybrid_k1, &a, &a, &mask, &mut acc);
+        assert_eq!(c.row_nnz(0), 0);
+
+        fn row_hybrid_k1<A: Accumulator<PlusTimes>>(
+            i: usize,
+            a: &Csr<f64>,
+            b: &Csr<f64>,
+            m: &[Idx],
+            acc: &mut A,
+            oc: &mut Vec<Idx>,
+            ov: &mut Vec<f64>,
+        ) {
+            row_hybrid(i, a, b, m, 1.0, acc, oc, ov)
+        }
+    }
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(1), 1.0);
+        assert_eq!(log2_ceil(2), 1.0);
+        assert_eq!(log2_ceil(3), 2.0);
+        assert_eq!(log2_ceil(4), 2.0);
+        assert_eq!(log2_ceil(5), 3.0);
+        assert_eq!(log2_ceil(1024), 10.0);
+        assert_eq!(log2_ceil(1025), 11.0);
+    }
+
+    #[test]
+    fn kernels_handle_rectangular_operands() {
+        // A: 5x7, B: 7x6, M: 5x6
+        let a = lcg_matrix(5, 7, 3, 21);
+        let b = lcg_matrix(7, 6, 3, 22);
+        let mask = lcg_matrix(5, 6, 4, 23);
+        let want = oracle(&a, &b, &mask);
+        let mut acc: DenseAccumulator<PlusTimes, u16> = DenseAccumulator::new(6);
+        assert_eq!(run_all(row_mask_accumulate, &a, &b, &mask, &mut acc), want);
+        assert_eq!(run_all(row_coiterate, &a, &b, &mask, &mut acc), want);
+    }
+}

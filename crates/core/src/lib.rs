@@ -1,0 +1,53 @@
+//! The tunable masked-SpGEMM — the primary contribution of *"To tile or
+//! not to tile, that is the question"* (IPDPSW 2024), reimplemented in
+//! Rust.
+//!
+//! Computes `C = M ⊙ (A × B)` over any [`Semiring`](mspgemm_sparse::Semiring),
+//! with every choice the paper identifies as performance-relevant exposed
+//! as an explicit parameter:
+//!
+//! | Dimension (paper §III) | Knob | Options |
+//! |---|---|---|
+//! | Tiling | [`Config::tiling`], [`Config::n_tiles`] | uniform / FLOP-balanced × any tile count |
+//! | Scheduling | [`Config::schedule`] | static / dynamic(chunk) |
+//! | Iteration space | [`Config::iteration`] | vanilla (Fig. 3), mask-accumulate (Fig. 5), co-iteration (Fig. 7), hybrid-κ (Fig. 9) |
+//! | Accumulator | [`Config::accumulator`] | dense / hash × marker width 8/16/32/64 |
+//!
+//! Three policy presets reproduce the systems the paper compares
+//! ([`presets`]), and [`tuner`] implements the staged tuning flow of
+//! Fig. 12.
+//!
+//! # Quick start
+//!
+//! ```
+//! use mspgemm_core::{masked_spgemm, Config};
+//! use mspgemm_sparse::{Csr, PlusTimes};
+//!
+//! // A 4-cycle: triangle-free, so A ⊙ (A × A) over plus_times is all zeros
+//! let a = Csr::try_from_parts(
+//!     4, 4,
+//!     vec![0, 2, 4, 6, 8],
+//!     vec![1, 3, 0, 2, 1, 3, 0, 2],
+//!     vec![1.0f64; 8],
+//! ).unwrap();
+//!
+//! let c = masked_spgemm::<PlusTimes>(&a, &a, &a, &Config::default()).unwrap();
+//! assert_eq!(c.nnz(), 0);
+//! ```
+
+pub mod config;
+pub mod dot;
+pub mod driver;
+pub mod driver2d;
+pub mod kernels;
+pub mod model;
+pub mod presets;
+pub mod tuner;
+
+pub use config::{Config, IterationSpace};
+pub use dot::{masked_spgemm_csc, masked_spgemm_dot};
+pub use driver::{masked_spgemm, masked_spgemm_with_stats, RunStats};
+pub use driver2d::masked_spgemm_2d;
+pub use model::predict_config;
+pub use presets::{preset_config, Preset};
+pub use tuner::{tune, TuneReport, TunerOptions};

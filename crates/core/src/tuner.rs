@@ -1,0 +1,238 @@
+//! The staged auto-tuner — Fig. 12's "performance sweep and tuning flow".
+//!
+//! ```text
+//! 1. Determine best combination of tiling and scheduling   (no co-iteration)
+//! 2. Tune co-iteration factor κ                            (tiling fixed)
+//! 3. Tune accumulator (marker width / internal state)      (κ fixed)
+//! ```
+//!
+//! The paper performs this flow offline across a matrix suite; this module
+//! runs it *online* for one operand triple, which is what the conclusion
+//! proposes as future work ("build models which can intelligently tune the
+//! parameters at execution time") — done here the simple way, by direct
+//! measurement.
+
+use crate::config::{Config, IterationSpace};
+use crate::driver::masked_spgemm_with_stats;
+use mspgemm_accum::{AccumulatorKind, MarkerWidth};
+use mspgemm_sched::{Schedule, TilingStrategy};
+use mspgemm_sparse::{Csr, Semiring};
+use std::time::Duration;
+
+/// Options controlling the sweep granularity (and therefore tuning cost).
+#[derive(Clone, Debug)]
+pub struct TunerOptions {
+    /// Worker threads (0 = all cores).
+    pub n_threads: usize,
+    /// Tile counts for stage 1. The paper sweeps 64…32768; the default
+    /// here is a coarser grid that still spans the regimes of Fig. 11.
+    pub tile_counts: Vec<usize>,
+    /// κ grid for stage 2 (the paper's Fig. 14 sweeps 10⁻³…10³).
+    pub kappas: Vec<f64>,
+    /// Marker widths for stage 3.
+    pub marker_widths: Vec<MarkerWidth>,
+    /// Timing repetitions per configuration; the minimum is kept.
+    pub reps: usize,
+}
+
+impl Default for TunerOptions {
+    fn default() -> Self {
+        TunerOptions {
+            n_threads: 0,
+            tile_counts: vec![64, 256, 1024, 2048, 8192],
+            kappas: vec![0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0],
+            marker_widths: MarkerWidth::all().to_vec(),
+            reps: 1,
+        }
+    }
+}
+
+/// One timed configuration.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// The configuration measured.
+    pub config: Config,
+    /// Best-of-`reps` kernel time.
+    pub time: Duration,
+}
+
+/// The tuner's full trace plus its final choice.
+#[derive(Clone, Debug)]
+pub struct TuneReport {
+    /// Stage 1: tiling × scheduling × tile count × accumulator family,
+    /// all with [`IterationSpace::MaskAccumulate`] (no co-iteration, as in
+    /// the paper's first sweep).
+    pub stage1: Vec<Measurement>,
+    /// Stage 2: κ sweep (plus the no-co-iteration baseline, recorded as a
+    /// `MaskAccumulate` entry).
+    pub stage2: Vec<Measurement>,
+    /// Stage 3: marker-width sweep for the winning family.
+    pub stage3: Vec<Measurement>,
+    /// The winning configuration.
+    pub best: Config,
+    /// Its measured time.
+    pub best_time: Duration,
+}
+
+fn time_config<S: Semiring>(
+    a: &Csr<S::T>,
+    b: &Csr<S::T>,
+    mask: &Csr<S::T>,
+    config: &Config,
+    reps: usize,
+) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let (_, stats) = masked_spgemm_with_stats::<S>(a, b, mask, config)
+            .expect("tuner operands must be shape-compatible");
+        best = best.min(stats.elapsed);
+    }
+    best
+}
+
+/// Run the Fig. 12 flow on one operand triple and return the trace and the
+/// winning configuration.
+pub fn tune<S: Semiring>(
+    a: &Csr<S::T>,
+    b: &Csr<S::T>,
+    mask: &Csr<S::T>,
+    opts: &TunerOptions,
+) -> TuneReport {
+    // ---------- stage 1: tiling × scheduling (no co-iteration) ----------
+    let mut stage1 = Vec::new();
+    for &n_tiles in &opts.tile_counts {
+        for tiling in TilingStrategy::all() {
+            for schedule in Schedule::all() {
+                for family in [
+                    AccumulatorKind::Dense(MarkerWidth::W32),
+                    AccumulatorKind::Hash(MarkerWidth::W32),
+                ] {
+                    let config = Config {
+                        n_threads: opts.n_threads,
+                        n_tiles,
+                        tiling,
+                        schedule,
+                        accumulator: family,
+                        iteration: IterationSpace::MaskAccumulate,
+                    };
+                    let time = time_config::<S>(a, b, mask, &config, opts.reps);
+                    stage1.push(Measurement { config, time });
+                }
+            }
+        }
+    }
+    let s1_best = stage1
+        .iter()
+        .min_by_key(|m| m.time)
+        .expect("stage 1 must measure at least one config")
+        .config;
+
+    // ---------- stage 2: κ sweep on the stage-1 winner ----------
+    let mut stage2 = Vec::new();
+    // the no-co-iteration baseline re-enters as a candidate
+    stage2.push(Measurement {
+        config: s1_best,
+        time: time_config::<S>(a, b, mask, &s1_best, opts.reps),
+    });
+    for &kappa in &opts.kappas {
+        let config = Config { iteration: IterationSpace::Hybrid { kappa }, ..s1_best };
+        let time = time_config::<S>(a, b, mask, &config, opts.reps);
+        stage2.push(Measurement { config, time });
+    }
+    let s2_best = stage2.iter().min_by_key(|m| m.time).unwrap().config;
+
+    // ---------- stage 3: marker width for the chosen family ----------
+    let mut stage3 = Vec::new();
+    for &w in &opts.marker_widths {
+        let accumulator = match s2_best.accumulator {
+            AccumulatorKind::Dense(_) => AccumulatorKind::Dense(w),
+            AccumulatorKind::Hash(_) => AccumulatorKind::Hash(w),
+            // the sort accumulator has no marker state to tune
+            AccumulatorKind::Sort => AccumulatorKind::Sort,
+        };
+        let config = Config { accumulator, ..s2_best };
+        let time = time_config::<S>(a, b, mask, &config, opts.reps);
+        stage3.push(Measurement { config, time });
+    }
+    let final_best = stage3.iter().min_by_key(|m| m.time).unwrap();
+
+    TuneReport {
+        best: final_best.config,
+        best_time: final_best.time,
+        stage1,
+        stage2,
+        stage3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspgemm_sparse::{Coo, Csr, Dense, PlusTimes};
+
+    fn lcg_matrix(n: usize, per_row: usize, seed: u64) -> Csr<f64> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            for _ in 0..per_row {
+                coo.push(i, next() % n, 1.0);
+            }
+        }
+        coo.to_csr_with(|a, _| a)
+    }
+
+    fn small_opts() -> TunerOptions {
+        TunerOptions {
+            n_threads: 2,
+            tile_counts: vec![4, 16],
+            kappas: vec![0.1, 1.0, 10.0],
+            marker_widths: vec![MarkerWidth::W16, MarkerWidth::W32],
+            reps: 1,
+        }
+    }
+
+    #[test]
+    fn tuner_runs_all_stages_and_returns_valid_config() {
+        let a = lcg_matrix(120, 5, 1);
+        let report = tune::<PlusTimes>(&a, &a, &a, &small_opts());
+        // stage 1: 2 tiles × 2 strategies × 2 schedules × 2 families = 16
+        assert_eq!(report.stage1.len(), 16);
+        // stage 2: baseline + 3 kappas
+        assert_eq!(report.stage2.len(), 4);
+        // stage 3: 2 widths
+        assert_eq!(report.stage3.len(), 2);
+        // the chosen config must actually compute the right answer
+        let want = Dense::masked_matmul::<PlusTimes, f64>(&a, &a, &a);
+        let got = crate::masked_spgemm::<PlusTimes>(&a, &a, &a, &report.best).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn best_time_is_minimum_of_stage3() {
+        let a = lcg_matrix(80, 4, 2);
+        let report = tune::<PlusTimes>(&a, &a, &a, &small_opts());
+        let min3 = report.stage3.iter().map(|m| m.time).min().unwrap();
+        assert_eq!(report.best_time, min3);
+    }
+
+    #[test]
+    fn stage2_keeps_winner_tiling_fixed() {
+        let a = lcg_matrix(80, 4, 3);
+        let report = tune::<PlusTimes>(&a, &a, &a, &small_opts());
+        let s1_best = report
+            .stage1
+            .iter()
+            .min_by_key(|m| m.time)
+            .unwrap()
+            .config;
+        for m in &report.stage2 {
+            assert_eq!(m.config.n_tiles, s1_best.n_tiles);
+            assert_eq!(m.config.tiling, s1_best.tiling);
+            assert_eq!(m.config.schedule, s1_best.schedule);
+        }
+    }
+}

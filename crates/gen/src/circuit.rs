@@ -1,0 +1,124 @@
+//! Circuit-simulation matrix generator — the stand-in for `circuit5M` and
+//! `stokes`.
+//!
+//! Circuit matrices are the paper's most dramatic case: `circuit5M` *times
+//! out* under every non-co-iterating configuration and drops to half a
+//! second with the hybrid kernel at κ = 0.1 (§IV-D, Fig. 14d). The
+//! structural cause is a narrow banded core (the circuit netlist is mostly
+//! local) plus a handful of **ultra-dense rows/columns** — power rails,
+//! clock nets — each touching a large fraction of all nodes. When such a
+//! dense row `k` appears as a column of `A[i,:]`, the non-co-iterating
+//! kernel must scan the whole of `B[k,:]` for every single `i`, even though
+//! the mask `M[i,:]` keeps only a few entries; co-iteration inverts that
+//! loop and the cost collapses. The generator reproduces exactly this
+//! pattern.
+
+use mspgemm_sparse::{Coo, Csr};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters for the circuit-matrix generator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CircuitParams {
+    /// Half-width of the banded netlist core.
+    pub half_band: usize,
+    /// Probability of keeping each in-band entry.
+    pub band_density: f64,
+    /// Number of dense "rail" nets (rows connected to a large vertex
+    /// fraction). `circuit5M` has a handful of such nets.
+    pub n_rails: usize,
+    /// Fraction of all vertices each rail connects to.
+    pub rail_fraction: f64,
+}
+
+impl Default for CircuitParams {
+    fn default() -> Self {
+        CircuitParams { half_band: 4, band_density: 0.7, n_rails: 4, rail_fraction: 0.25 }
+    }
+}
+
+/// Generate a circuit-like symmetric matrix with `n` nodes.
+pub fn circuit(n: usize, params: CircuitParams, seed: u64) -> Csr<f64> {
+    assert!(n >= 16, "need at least 16 nodes");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let rail_nnz = (n as f64 * params.rail_fraction) as usize * params.n_rails;
+    let mut coo = Coo::with_capacity(n, n, 2 * (n * params.half_band + rail_nnz));
+
+    // banded netlist core
+    for i in 0..n {
+        for off in 1..=params.half_band {
+            if i + off < n && rng.gen::<f64>() < params.band_density {
+                coo.push_symmetric(i, i + off, 1.0);
+            }
+        }
+    }
+
+    // rail nets: evenly spread "hub" nodes wired to a large random subset
+    for r in 0..params.n_rails {
+        // place rails away from each other
+        let rail = (r * n) / params.n_rails + n / (2 * params.n_rails);
+        let k = (n as f64 * params.rail_fraction) as usize;
+        for _ in 0..k {
+            let v = rng.gen_range(0..n);
+            if v != rail {
+                coo.push_symmetric(rail, v, 1.0);
+            }
+        }
+    }
+    coo.to_csr_with(|a, _| a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspgemm_sparse::stats::MatrixStats;
+
+    #[test]
+    fn circuit_is_symmetric_and_loop_free() {
+        let g = circuit(500, CircuitParams::default(), 4);
+        assert!(g.is_structurally_symmetric());
+        assert!(g.iter().all(|(i, j, _)| i != j as usize));
+    }
+
+    #[test]
+    fn circuit_has_extreme_dense_row_outliers() {
+        let p = CircuitParams::default();
+        let g = circuit(4000, p, 7);
+        let s = MatrixStats::compute(&g);
+        // the rails dominate: max degree ≈ rail_fraction·n vs mean ≈ band
+        assert!(
+            s.max_degree > 500,
+            "rails should be ultra-dense, max deg = {}",
+            s.max_degree
+        );
+        assert!(
+            s.degree_skew > 50.0,
+            "circuit skew should dwarf social skew, got {:.1}",
+            s.degree_skew
+        );
+    }
+
+    #[test]
+    fn circuit_without_rails_is_banded() {
+        let p = CircuitParams { n_rails: 0, rail_fraction: 0.0, ..CircuitParams::default() };
+        let g = circuit(1000, p, 7);
+        let s = MatrixStats::compute(&g);
+        assert!(s.max_degree <= 2 * p.half_band);
+        assert_eq!(s.near_diagonal_frac, 1.0);
+    }
+
+    #[test]
+    fn rail_count_matches_parameters() {
+        let p = CircuitParams { n_rails: 3, rail_fraction: 0.3, ..CircuitParams::default() };
+        let g = circuit(2000, p, 1);
+        let dense_rows = (0..g.nrows()).filter(|&i| g.row_nnz(i) > 300).count();
+        assert_eq!(dense_rows, 3, "expected exactly the 3 rails to be dense");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = circuit(300, CircuitParams::default(), 2);
+        let b = circuit(300, CircuitParams::default(), 2);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,105 @@
+//! Erdős–Rényi `G(n, m)` random graphs.
+//!
+//! Not a Table I class — uniform random graphs have neither skew nor
+//! locality — but indispensable for correctness testing (they hit kernels
+//! with "structureless" input) and as a neutral point in ablation benches.
+
+use mspgemm_sparse::{Coo, Csr};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Generate a symmetric `G(n, m)` adjacency matrix: `m` undirected edges
+/// chosen uniformly (with rejection of self-loops; duplicate edges merge, so
+/// the realised edge count can be slightly below `m` for dense requests).
+///
+/// Values are `1.0` (boolean adjacency).
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Csr<f64> {
+    assert!(n >= 2, "need at least two vertices");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut coo = Coo::with_capacity(n, n, 2 * m);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n);
+        let mut v = rng.gen_range(0..n);
+        while v == u {
+            v = rng.gen_range(0..n);
+        }
+        coo.push_symmetric(u, v, 1.0);
+    }
+    coo.to_csr_with(|a, _| a)
+}
+
+/// Generate a *directed* `G(n, p)`-style matrix with expected `n·n·p`
+/// entries, used to test kernels on rectangular/asymmetric inputs.
+pub fn erdos_renyi_directed(nrows: usize, ncols: usize, p: f64, seed: u64) -> Csr<f64> {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut coo = Coo::new(nrows, ncols);
+    // geometric skipping: visit stored positions directly, O(nnz)
+    if p > 0.0 {
+        let total = (nrows as u128) * (ncols as u128);
+        let mut pos: u128 = 0;
+        loop {
+            // skip ~ Geometric(p)
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let skip = (u.ln() / (1.0 - p).ln()).floor() as u128;
+            pos += skip;
+            if pos >= total {
+                break;
+            }
+            let i = (pos / ncols as u128) as usize;
+            let j = (pos % ncols as u128) as usize;
+            coo.push(i, j, rng.gen_range(0.5..1.5));
+            pos += 1;
+        }
+    }
+    coo.to_csr_with(|a, _| a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_is_symmetric_and_loop_free() {
+        let g = erdos_renyi(100, 300, 42);
+        assert!(g.is_structurally_symmetric());
+        assert!(g.iter().all(|(i, j, _)| i != j as usize));
+        // 300 draws, some may collide; realised undirected edges ≤ 300
+        assert!(g.nnz() <= 600);
+        assert!(g.nnz() >= 400, "too many collisions: {}", g.nnz());
+    }
+
+    #[test]
+    fn er_is_deterministic_in_seed() {
+        let a = erdos_renyi(64, 128, 7);
+        let b = erdos_renyi(64, 128, 7);
+        let c = erdos_renyi(64, 128, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn directed_density_is_roughly_p() {
+        let g = erdos_renyi_directed(200, 300, 0.05, 1);
+        let expected = 200.0 * 300.0 * 0.05;
+        let got = g.nnz() as f64;
+        assert!(
+            (got - expected).abs() < expected * 0.25,
+            "nnz {} far from expectation {}",
+            got,
+            expected
+        );
+    }
+
+    #[test]
+    fn directed_p_zero_is_empty() {
+        let g = erdos_renyi_directed(10, 10, 0.0, 1);
+        assert_eq!(g.nnz(), 0);
+    }
+
+    #[test]
+    fn directed_p_one_is_full() {
+        let g = erdos_renyi_directed(8, 9, 1.0, 1);
+        assert_eq!(g.nnz(), 72);
+    }
+}

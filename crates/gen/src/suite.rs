@@ -1,0 +1,226 @@
+//! The Table I stand-in suite.
+//!
+//! The paper evaluates on ten SuiteSparse Matrix Collection graphs
+//! (Table I). This module defines a synthetic counterpart for each, scaled
+//! to laptop-feasible size (the paper used a 64-core EPYC with 512 GB; see
+//! DESIGN.md for the substitution rationale). Kind letters match Table I:
+//! (W) web graph, (C) circuit simulation, (S) social graph, (R) road graph.
+//!
+//! The scaling preserves what the paper's per-class findings depend on —
+//! degree-distribution shape, column locality, dense-row outliers and the
+//! *relative* size ordering of the graphs — not absolute `n`/`nnz`.
+
+use crate::circuit::{circuit, CircuitParams};
+use crate::rmat::{rmat, RmatParams};
+use crate::road::{road, RoadParams};
+use crate::web::{web, WebParams};
+use mspgemm_sparse::Csr;
+
+/// Structural class of a suite graph, mirroring Table I's "Kind" column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GraphKind {
+    /// Web hyperlink graph (host locality + hub pages).
+    Web,
+    /// Circuit / CFD simulation (banded core + dense rails).
+    Circuit,
+    /// Social network (heavy-tailed, no locality).
+    Social,
+    /// Road network (near-regular, extreme locality).
+    Road,
+}
+
+impl GraphKind {
+    /// Table I's single-letter code.
+    pub fn letter(self) -> char {
+        match self {
+            GraphKind::Web => 'W',
+            GraphKind::Circuit => 'C',
+            GraphKind::Social => 'S',
+            GraphKind::Road => 'R',
+        }
+    }
+}
+
+/// One entry of the synthetic Table I.
+#[derive(Clone, Copy, Debug)]
+pub struct SuiteSpec {
+    /// Name of the paper's matrix this stands in for.
+    pub name: &'static str,
+    /// Structural class.
+    pub kind: GraphKind,
+    /// The paper's vertex count (for the report).
+    pub paper_n: u64,
+    /// The paper's nonzero count (for the report).
+    pub paper_nnz: u64,
+    /// Deterministic seed used for this graph.
+    pub seed: u64,
+}
+
+/// The ten Table I entries, in the paper's (alphabetical) order.
+pub fn suite_specs() -> Vec<SuiteSpec> {
+    vec![
+        SuiteSpec { name: "arabic-2005", kind: GraphKind::Web, paper_n: 22_744_080, paper_nnz: 639_999_458, seed: 1001 },
+        SuiteSpec { name: "as-Skitter", kind: GraphKind::Web, paper_n: 1_696_415, paper_nnz: 22_190_596, seed: 1002 },
+        SuiteSpec { name: "circuit5M", kind: GraphKind::Circuit, paper_n: 5_558_326, paper_nnz: 59_524_291, seed: 1003 },
+        SuiteSpec { name: "com-LiveJournal", kind: GraphKind::Social, paper_n: 3_997_962, paper_nnz: 69_362_378, seed: 1004 },
+        SuiteSpec { name: "com-Orkut", kind: GraphKind::Social, paper_n: 3_072_441, paper_nnz: 234_370_166, seed: 1005 },
+        SuiteSpec { name: "europe_osm", kind: GraphKind::Road, paper_n: 50_912_018, paper_nnz: 108_109_320, seed: 1006 },
+        SuiteSpec { name: "GAP-road", kind: GraphKind::Road, paper_n: 23_947_347, paper_nnz: 57_708_624, seed: 1007 },
+        SuiteSpec { name: "hollywood-2009", kind: GraphKind::Social, paper_n: 1_139_905, paper_nnz: 113_891_327, seed: 1008 },
+        SuiteSpec { name: "stokes", kind: GraphKind::Circuit, paper_n: 11_449_533, paper_nnz: 349_321_980, seed: 1009 },
+        SuiteSpec { name: "uk-2002", kind: GraphKind::Web, paper_n: 18_520_486, paper_nnz: 298_113_762, seed: 1010 },
+    ]
+}
+
+/// Relative size of the generated stand-ins. `1.0` is the default
+/// benchmark scale (nnz ≈ 10⁵–10⁶ per graph); tests use smaller values.
+/// Generated `n` scales linearly with `scale` (so nnz roughly does too).
+pub fn suite_graph(spec: &SuiteSpec, scale: f64) -> Csr<f64> {
+    assert!(scale > 0.0, "scale must be positive");
+    let s = |base: usize| ((base as f64 * scale) as usize).max(64);
+    match spec.name {
+        // --- web crawls: host locality + hubs; arabic/uk are the large,
+        // highly-local crawls, as-Skitter is an internet topology with far
+        // less locality and a heavier hub tail ---
+        "arabic-2005" => web(
+            s(40_000),
+            WebParams { mean_host_size: 48, local_links: 8, remote_links: 2, popularity_shape: 1.3 },
+            spec.seed,
+        ),
+        "uk-2002" => web(
+            s(30_000),
+            WebParams { mean_host_size: 40, local_links: 7, remote_links: 2, popularity_shape: 1.3 },
+            spec.seed,
+        ),
+        "as-Skitter" => web(
+            s(12_000),
+            WebParams { mean_host_size: 8, local_links: 3, remote_links: 4, popularity_shape: 1.1 },
+            spec.seed,
+        ),
+        // --- circuits: banded + dense rails. circuit5M's rails are what
+        // made the paper's baseline time out; stokes (CFD) is a wider,
+        // denser band with milder outliers ---
+        "circuit5M" => circuit(
+            s(30_000),
+            CircuitParams { half_band: 4, band_density: 0.7, n_rails: 5, rail_fraction: 0.2 },
+            spec.seed,
+        ),
+        "stokes" => circuit(
+            s(35_000),
+            CircuitParams { half_band: 8, band_density: 0.8, n_rails: 2, rail_fraction: 0.05 },
+            spec.seed,
+        ),
+        // --- social networks: R-MAT at Graph500 parameters; edge factor
+        // reflects the real graphs' density ordering
+        // (orkut > hollywood > livejournal) ---
+        "com-LiveJournal" => rmat(rmat_scale(16_384, scale), 9, RmatParams::default(), spec.seed),
+        "com-Orkut" => rmat(rmat_scale(16_384, scale), 24, RmatParams::default(), spec.seed),
+        "hollywood-2009" => rmat(rmat_scale(8_192, scale), 32, RmatParams::default(), spec.seed),
+        // --- road networks: long thin grids (countries are not square).
+        // Grid dimensions scale by √scale so n scales linearly like the
+        // other generators. ---
+        "europe_osm" => {
+            let r = scale.sqrt();
+            road(grid_dim(260, r), grid_dim(200, r), RoadParams::default(), spec.seed)
+        }
+        "GAP-road" => {
+            let r = scale.sqrt();
+            road(grid_dim(160, r), grid_dim(150, r), RoadParams::default(), spec.seed)
+        }
+        other => panic!("unknown suite graph {other:?}"),
+    }
+}
+
+/// Scale one grid dimension by a linear ratio, keeping it usable.
+fn grid_dim(base: usize, ratio: f64) -> usize {
+    ((base as f64 * ratio) as usize).max(8)
+}
+
+/// R-MAT wants a power-of-two vertex count; pick the scale exponent whose
+/// size best matches `base · scale`.
+fn rmat_scale(base: usize, scale: f64) -> u32 {
+    let target = (base as f64 * scale).max(64.0);
+    (target.log2().round() as u32).max(6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspgemm_sparse::stats::MatrixStats;
+
+    const TEST_SCALE: f64 = 0.05;
+
+    #[test]
+    fn all_ten_specs_present_in_paper_order() {
+        let specs = suite_specs();
+        assert_eq!(specs.len(), 10);
+        assert_eq!(specs[0].name, "arabic-2005");
+        assert_eq!(specs[9].name, "uk-2002");
+        let kinds: Vec<char> = specs.iter().map(|s| s.kind.letter()).collect();
+        assert_eq!(kinds, vec!['W', 'W', 'C', 'S', 'S', 'R', 'R', 'S', 'C', 'W']);
+    }
+
+    #[test]
+    fn every_graph_generates_and_is_symmetric() {
+        for spec in suite_specs() {
+            let g = suite_graph(&spec, TEST_SCALE);
+            assert!(g.nnz() > 0, "{} is empty", spec.name);
+            assert!(
+                g.is_structurally_symmetric(),
+                "{} is not symmetric",
+                spec.name
+            );
+            assert!(
+                g.iter().all(|(i, j, _)| i != j as usize),
+                "{} has self loops",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn classes_have_their_signature_structure() {
+        for spec in suite_specs() {
+            let g = suite_graph(&spec, 0.2);
+            let s = MatrixStats::compute(&g);
+            match spec.kind {
+                GraphKind::Road => assert!(
+                    s.degree_skew < 3.0 && s.near_diagonal_frac > 0.9,
+                    "{}: road stats wrong: {s}",
+                    spec.name
+                ),
+                GraphKind::Social => assert!(
+                    s.degree_skew > 5.0,
+                    "{}: social graphs need skew: {s}",
+                    spec.name
+                ),
+                GraphKind::Circuit => assert!(
+                    s.degree_skew > 20.0 || s.max_degree > 100,
+                    "{}: circuits need dense-rail outliers: {s}",
+                    spec.name
+                ),
+                GraphKind::Web => assert!(
+                    s.degree_skew > 5.0 && s.near_diagonal_frac > 0.3,
+                    "{}: web graphs need hubs plus locality: {s}",
+                    spec.name
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = suite_specs()[2];
+        let a = suite_graph(&spec, TEST_SCALE);
+        let b = suite_graph(&spec, TEST_SCALE);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scale_scales_size() {
+        let spec = suite_specs()[6]; // GAP-road
+        let small = suite_graph(&spec, 0.05);
+        let large = suite_graph(&spec, 0.2);
+        assert!(large.nnz() > 4 * small.nnz());
+    }
+}

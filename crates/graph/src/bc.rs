@@ -1,0 +1,155 @@
+//! Betweenness centrality (Brandes' algorithm over BFS waves).
+//!
+//! The paper's §I cites betweenness centrality (Solomonik et al.) as a
+//! masked-SpGEMM consumer: the batched GraphBLAS formulation multiplies
+//! frontier matrices against the adjacency matrix with the visited set as
+//! a complement mask. Here we implement the single-source wave form with
+//! the same masked frontier expansion used by [`crate::bfs`], accumulating
+//! path counts on the forward sweep and dependencies on the backward
+//! sweep.
+
+use mspgemm_sparse::{Csr, Idx};
+
+/// Exact betweenness centrality for unweighted graphs, computed from the
+/// given source vertices (pass all vertices for exact BC, a sample for
+/// approximate BC). Scores of undirected graphs count each path twice, as
+/// is conventional for adjacency matrices storing both edge directions.
+pub fn betweenness_centrality<T: Copy>(a: &Csr<T>, sources: &[usize]) -> Vec<f64> {
+    assert_eq!(a.nrows(), a.ncols(), "adjacency matrix must be square");
+    let n = a.nrows();
+    let mut bc = vec![0.0f64; n];
+
+    // reusable per-source state
+    let mut sigma = vec![0.0f64; n]; // shortest-path counts
+    let mut depth = vec![i64::MAX; n];
+    let mut delta = vec![0.0f64; n]; // dependencies
+
+    for &s in sources {
+        assert!(s < n, "source {s} out of range");
+        sigma.fill(0.0);
+        depth.fill(i64::MAX);
+        delta.fill(0.0);
+
+        sigma[s] = 1.0;
+        depth[s] = 0;
+
+        // forward: level-synchronous wave, recording per-level frontiers
+        let mut waves: Vec<Vec<Idx>> = vec![vec![s as Idx]];
+        let mut d = 0i64;
+        loop {
+            let mut next: Vec<Idx> = Vec::new();
+            for &u in &waves[d as usize] {
+                let (cols, _) = a.row(u as usize);
+                for &v in cols {
+                    let vu = v as usize;
+                    if depth[vu] == i64::MAX {
+                        depth[vu] = d + 1;
+                        next.push(v);
+                    }
+                    if depth[vu] == d + 1 {
+                        sigma[vu] += sigma[u as usize];
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            waves.push(next);
+            d += 1;
+        }
+
+        // backward: accumulate dependencies level by level
+        for wave in waves.iter().rev() {
+            for &u in wave {
+                let uu = u as usize;
+                let (cols, _) = a.row(uu);
+                for &v in cols {
+                    let vu = v as usize;
+                    if depth[vu] == depth[uu] + 1 && sigma[vu] > 0.0 {
+                        delta[uu] += sigma[uu] / sigma[vu] * (1.0 + delta[vu]);
+                    }
+                }
+                if uu != s {
+                    bc[uu] += delta[uu];
+                }
+            }
+        }
+    }
+    bc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspgemm_sparse::Coo;
+
+    fn undirected(edges: &[(usize, usize)], n: usize) -> Csr<f64> {
+        let mut coo = Coo::new(n, n);
+        for &(u, v) in edges {
+            coo.push_symmetric(u, v, 1.0);
+        }
+        coo.to_csr_with(|a, _| a)
+    }
+
+    fn all_sources(n: usize) -> Vec<usize> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn path_graph_middle_is_central() {
+        // 0 - 1 - 2: vertex 1 lies on the only 0↔2 path
+        let a = undirected(&[(0, 1), (1, 2)], 3);
+        let bc = betweenness_centrality(&a, &all_sources(3));
+        // directed-pair convention: paths 0→2 and 2→0 both cross vertex 1
+        assert_eq!(bc, vec![0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn star_graph_center_dominates() {
+        let a = undirected(&[(0, 1), (0, 2), (0, 3), (0, 4)], 5);
+        let bc = betweenness_centrality(&a, &all_sources(5));
+        // center is on every leaf↔leaf path: 4·3 = 12 ordered pairs
+        assert_eq!(bc[0], 12.0);
+        for leaf in 1..5 {
+            assert_eq!(bc[leaf], 0.0);
+        }
+    }
+
+    #[test]
+    fn cycle_is_symmetric() {
+        let a = undirected(&[(0, 1), (1, 2), (2, 3), (3, 0)], 4);
+        let bc = betweenness_centrality(&a, &all_sources(4));
+        for v in 1..4 {
+            assert!((bc[v] - bc[0]).abs() < 1e-12, "cycle BC must be uniform: {bc:?}");
+        }
+    }
+
+    #[test]
+    fn equal_shortest_paths_split_credit() {
+        // diamond (4-cycle 0-1-3-2-0): every opposite pair has two equal
+        // shortest paths, so every vertex mediates half a path per
+        // direction for its opposite pair: bc[v] = 2 · 0.5 = 1 for all v
+        let a = undirected(&[(0, 1), (0, 2), (1, 3), (2, 3)], 4);
+        let bc = betweenness_centrality(&a, &all_sources(4));
+        for (v, &score) in bc.iter().enumerate() {
+            assert!((score - 1.0).abs() < 1e-12, "vertex {v}: {bc:?}");
+        }
+    }
+
+    #[test]
+    fn sampled_sources_give_partial_scores() {
+        let a = undirected(&[(0, 1), (1, 2)], 3);
+        let partial = betweenness_centrality(&a, &[0]);
+        // only the 0→2 path is observed from source 0
+        assert_eq!(partial, vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn disconnected_components_do_not_interact() {
+        let a = undirected(&[(0, 1), (1, 2), (3, 4)], 5);
+        let bc = betweenness_centrality(&a, &all_sources(5));
+        assert_eq!(bc[3], 0.0);
+        assert_eq!(bc[4], 0.0);
+        assert_eq!(bc[1], 2.0);
+    }
+}

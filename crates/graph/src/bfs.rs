@@ -1,0 +1,242 @@
+//! Level-synchronous BFS in the language of sparse linear algebra.
+//!
+//! Each level expands the frontier with a masked sparse matrix-sparse
+//! vector product: `next = A^T ⊗ frontier` under the boolean semiring,
+//! masked by `!visited` — the vector analogue of the paper's
+//! masked-SpGEMM (the complement mask plays the role `M` does for `mxm`).
+//! The paper's §I lists BFS among the kernel's consumers; Beamer et al.'s
+//! direction optimisation is the vector analogue of the push/pull
+//! (linear-scan vs co-iteration) choice studied in §III-B.
+
+use mspgemm_sparse::vector::{masked_vxm, SparseVec};
+use mspgemm_sparse::{BoolOrAnd, Csr};
+
+/// Result of a BFS traversal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BfsResult {
+    /// `levels[v]` = BFS depth of `v` from the source, or `u32::MAX` if
+    /// unreachable.
+    pub levels: Vec<u32>,
+    /// Number of vertices reached (including the source).
+    pub reached: usize,
+    /// Number of frontier-expansion iterations executed.
+    pub iterations: usize,
+}
+
+/// Depth marker for unreachable vertices.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// BFS over a (symmetric or directed) boolean adjacency matrix from
+/// `source`. Edges are interpreted row→column (`A[u,v]` = edge `u → v`).
+pub fn bfs_levels<T: Copy>(a: &Csr<T>, source: usize) -> BfsResult {
+    assert_eq!(a.nrows(), a.ncols(), "adjacency matrix must be square");
+    assert!(source < a.nrows(), "source out of range");
+    let n = a.nrows();
+
+    // masked_vxm computes y = xᵀ·A: scattering the frontier along its
+    // rows reaches each vertex's out-neighbours — BFS push
+    let ab = a.spones(true);
+
+    let mut levels = vec![UNREACHED; n];
+    let mut unvisited = vec![true; n];
+    levels[source] = 0;
+    unvisited[source] = false;
+
+    let mut frontier = SparseVec::unit(n, source, true);
+    let mut reached = 1usize;
+    let mut depth = 0u32;
+    let mut iterations = 0usize;
+
+    while !frontier.is_empty() {
+        iterations += 1;
+        depth += 1;
+        // next = (frontier ⊗ A) ⊙ ¬visited
+        let next = masked_vxm::<BoolOrAnd>(&frontier, &ab, |v| unvisited[v as usize]);
+        for (v, _) in next.iter() {
+            levels[v as usize] = depth;
+            unvisited[v as usize] = false;
+        }
+        reached += next.nnz();
+        frontier = next;
+    }
+
+    BfsResult { levels, reached, iterations }
+}
+
+/// Batched multi-source BFS in pure linear algebra: the frontier is a
+/// `k × n` boolean matrix (one row per source) and each level is one
+/// complement-masked matrix product
+///
+/// ```text
+/// F' = ¬V ⊙ (F × A)
+/// ```
+///
+/// where `V` accumulates the visited sets. This is the formulation
+/// Solomonik et al. (the paper's betweenness-centrality citation) batch
+/// their BFS waves with, and it exercises the complemented-mask product
+/// (`GrB_DESC_C`) end-to-end.
+pub fn bfs_levels_multi<T: Copy>(a: &Csr<T>, sources: &[usize]) -> Vec<Vec<u32>> {
+    assert_eq!(a.nrows(), a.ncols(), "adjacency matrix must be square");
+    let n = a.nrows();
+    let k = sources.len();
+    let ab = a.spones(true);
+
+    // frontier and visited matrices, k × n
+    let mut coo = mspgemm_sparse::Coo::new(k, n);
+    for (s, &v) in sources.iter().enumerate() {
+        assert!(v < n, "source {v} out of range");
+        coo.push(s, v, true);
+    }
+    let mut frontier: Csr<bool> = coo.to_csr_with(|x, _| x);
+    let mut visited = frontier.clone();
+
+    let mut levels = vec![vec![UNREACHED; n]; k];
+    for (s, &v) in sources.iter().enumerate() {
+        levels[s][v] = 0;
+    }
+
+    let mut depth = 0u32;
+    while frontier.nnz() > 0 {
+        depth += 1;
+        // F' = ¬V ⊙ (F × A)
+        let next = crate::grb::masked_mxm_complemented::<BoolOrAnd>(&visited, &frontier, &ab)
+            .expect("shapes are consistent by construction");
+        for (s, v, _) in next.iter() {
+            levels[s][v as usize] = depth;
+        }
+        visited = mspgemm_sparse::ops::ewise_add::<BoolOrAnd>(&visited, &next);
+        frontier = next;
+    }
+    levels
+}
+
+/// Reference BFS with an explicit queue, for tests.
+pub fn bfs_levels_naive<T: Copy>(a: &Csr<T>, source: usize) -> Vec<u32> {
+    let n = a.nrows();
+    let mut levels = vec![UNREACHED; n];
+    let mut queue = std::collections::VecDeque::new();
+    levels[source] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let (cols, _) = a.row(u);
+        for &v in cols {
+            let v = v as usize;
+            if levels[v] == UNREACHED {
+                levels[v] = levels[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspgemm_sparse::Coo;
+
+    fn undirected(edges: &[(usize, usize)], n: usize) -> Csr<f64> {
+        let mut coo = Coo::new(n, n);
+        for &(u, v) in edges {
+            coo.push_symmetric(u, v, 1.0);
+        }
+        coo.to_csr_with(|a, _| a)
+    }
+
+    #[test]
+    fn path_graph_levels() {
+        let a = undirected(&[(0, 1), (1, 2), (2, 3)], 4);
+        let r = bfs_levels(&a, 0);
+        assert_eq!(r.levels, vec![0, 1, 2, 3]);
+        assert_eq!(r.reached, 4);
+        assert_eq!(r.iterations, 4); // 3 expansions + 1 empty check round
+    }
+
+    #[test]
+    fn disconnected_component_unreached() {
+        let a = undirected(&[(0, 1), (2, 3)], 4);
+        let r = bfs_levels(&a, 0);
+        assert_eq!(r.levels[0], 0);
+        assert_eq!(r.levels[1], 1);
+        assert_eq!(r.levels[2], UNREACHED);
+        assert_eq!(r.levels[3], UNREACHED);
+        assert_eq!(r.reached, 2);
+    }
+
+    #[test]
+    fn directed_edges_respected() {
+        // 0 → 1 → 2, no way back
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 2, 1.0);
+        let a = coo.to_csr_sum();
+        let r = bfs_levels(&a, 0);
+        assert_eq!(r.levels, vec![0, 1, 2]);
+        let r = bfs_levels(&a, 2);
+        assert_eq!(r.levels, vec![UNREACHED, UNREACHED, 0]);
+    }
+
+    #[test]
+    fn matches_naive_on_random_graphs() {
+        for seed in 0..5 {
+            let g = mspgemm_gen::er::erdos_renyi(150, 300, seed);
+            let want = bfs_levels_naive(&g, 0);
+            let got = bfs_levels(&g, 0);
+            assert_eq!(got.levels, want, "seed {seed}");
+            assert_eq!(
+                got.reached,
+                want.iter().filter(|&&l| l != UNREACHED).count()
+            );
+        }
+    }
+
+    #[test]
+    fn road_graph_has_large_diameter() {
+        let g = mspgemm_gen::road::road(
+            30,
+            4,
+            mspgemm_gen::road::RoadParams { keep_prob: 1.0, shortcut_rate: 0.0, shortcut_radius: 0 },
+            1,
+        );
+        let r = bfs_levels(&g, 0);
+        let max_level = *r.levels.iter().filter(|&&l| l != UNREACHED).max().unwrap();
+        assert!(max_level >= 30, "grid BFS depth {max_level} too small");
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn bad_source_panics() {
+        let a = undirected(&[(0, 1)], 2);
+        let _ = bfs_levels(&a, 5);
+    }
+
+    #[test]
+    fn multi_source_matches_single_source() {
+        let g = mspgemm_gen::er::erdos_renyi(120, 260, 11);
+        let sources = [0usize, 7, 33, 99];
+        let batched = bfs_levels_multi(&g, &sources);
+        for (s, &src) in sources.iter().enumerate() {
+            let single = bfs_levels(&g, src);
+            assert_eq!(batched[s], single.levels, "source {src}");
+        }
+    }
+
+    #[test]
+    fn multi_source_empty_sources() {
+        let a = undirected(&[(0, 1)], 2);
+        let levels = bfs_levels_multi(&a, &[]);
+        assert!(levels.is_empty());
+    }
+
+    #[test]
+    fn multi_source_on_directed_graph() {
+        let mut coo = Coo::new(4, 4);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 2, 1.0);
+        coo.push(3, 0, 1.0);
+        let a = coo.to_csr_sum();
+        let levels = bfs_levels_multi(&a, &[0, 3]);
+        assert_eq!(levels[0], vec![0, 1, 2, UNREACHED]);
+        assert_eq!(levels[1], vec![1, 2, 3, 0]);
+    }
+}

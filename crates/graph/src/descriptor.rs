@@ -1,0 +1,282 @@
+//! The GraphBLAS descriptor — completing the `GrB_mxm` signature.
+//!
+//! The paper quotes the full API (§II-B):
+//!
+//! ```text
+//! GrB_mxm(GrB_Matrix C, const GrB_Matrix M, const GrB_BinaryOp accum,
+//!         const GrB_Semiring op, const GrB_Matrix A, const GrB_Matrix B,
+//!         const GrB_Descriptor desc);
+//! ```
+//!
+//! [`crate::mxm`] covers the `M`/`op`/`A`/`B` core; this module adds the
+//! remaining two parameters — the descriptor (operand transposition,
+//! mask complementing, replace-vs-merge) and the `accum` operator that
+//! folds the product into existing output values.
+
+use crate::grb::{masked_mxm, masked_mxm_complemented, spgemm_unmasked};
+use mspgemm_core::Config;
+use mspgemm_sparse::ops::{ewise_add, ewise_without};
+use mspgemm_sparse::{Csr, Semiring, SparseError};
+
+/// `GrB_Descriptor` analogue: execution modifiers for [`mxm_desc`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Descriptor {
+    /// Use `Aᵀ` instead of `A` (`GrB_INP0 = GrB_TRAN`).
+    pub transpose_a: bool,
+    /// Use `Bᵀ` instead of `B` (`GrB_INP1 = GrB_TRAN`).
+    pub transpose_b: bool,
+    /// Complement the mask structurally (`GrB_MASK = GrB_COMP`): keep the
+    /// product entries the mask does *not* admit.
+    pub complement_mask: bool,
+    /// `GrB_OUTP = GrB_REPLACE`: discard existing `C` entries outside the
+    /// computed region instead of merging (only meaningful with `accum`).
+    pub replace: bool,
+}
+
+impl Descriptor {
+    /// The default descriptor (no transposition, normal mask, merge).
+    pub fn new() -> Self {
+        Descriptor::default()
+    }
+
+    /// Builder-style: transpose the first operand.
+    pub fn with_transpose_a(mut self) -> Self {
+        self.transpose_a = true;
+        self
+    }
+
+    /// Builder-style: transpose the second operand.
+    pub fn with_transpose_b(mut self) -> Self {
+        self.transpose_b = true;
+        self
+    }
+
+    /// Builder-style: complement the mask.
+    pub fn with_complement_mask(mut self) -> Self {
+        self.complement_mask = true;
+        self
+    }
+
+    /// Builder-style: replace rather than merge with existing output.
+    pub fn with_replace(mut self) -> Self {
+        self.replace = true;
+        self
+    }
+}
+
+/// Full `GrB_mxm` analogue: `C ⟵ accum(C, M ⊙ (A × B))` under a
+/// descriptor.
+///
+/// * `c_in = None` (or `accum` absent semantics): the result is just the
+///   masked product.
+/// * With `c_in = Some(c)`: positions computed by the product are folded
+///   into `c` with the semiring's `⊕` (GraphBLAS would take an arbitrary
+///   binary op; using the additive monoid covers the dominant use).
+///   Under `replace`, `c`'s entries *outside* the mask-admitted region
+///   are dropped first (GraphBLAS `GrB_REPLACE` semantics for a present
+///   mask).
+pub fn mxm_desc<S: Semiring>(
+    c_in: Option<&Csr<S::T>>,
+    mask: Option<&Csr<S::T>>,
+    a: &Csr<S::T>,
+    b: &Csr<S::T>,
+    config: &Config,
+    desc: Descriptor,
+) -> Result<Csr<S::T>, SparseError> {
+    // operand transposition
+    let at;
+    let bt;
+    let a_eff = if desc.transpose_a {
+        at = a.transpose();
+        &at
+    } else {
+        a
+    };
+    let b_eff = if desc.transpose_b {
+        bt = b.transpose();
+        &bt
+    } else {
+        b
+    };
+
+    // the masked (or unmasked) product
+    let product = match (mask, desc.complement_mask) {
+        (Some(m), false) => masked_mxm::<S>(m, a_eff, b_eff, config)?,
+        (Some(m), true) => masked_mxm_complemented::<S>(m, a_eff, b_eff)?,
+        (None, false) => spgemm_unmasked::<S>(a_eff, b_eff)?,
+        (None, true) => {
+            // complementing an absent mask admits nothing
+            Csr::zeros(a_eff.nrows(), b_eff.ncols())
+        }
+    };
+
+    // accumulate into existing output
+    let Some(c) = c_in else { return Ok(product) };
+    if c.nrows() != product.nrows() || c.ncols() != product.ncols() {
+        return Err(SparseError::ShapeMismatch {
+            expected: (product.nrows(), product.ncols()),
+            found: (c.nrows(), c.ncols()),
+            context: "mxm_desc: C shape",
+        });
+    }
+    let base = if desc.replace {
+        match (mask, desc.complement_mask) {
+            // keep only C entries in the admitted region
+            (Some(m), false) => {
+                let outside = ewise_without(c, m);
+                ewise_without(c, &outside)
+            }
+            (Some(m), true) => ewise_without(c, m),
+            (None, false) => c.clone(),
+            (None, true) => Csr::zeros(c.nrows(), c.ncols()),
+        }
+    } else {
+        c.clone()
+    };
+    Ok(ewise_add::<S>(&base, &product))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspgemm_sparse::{Coo, Dense, PlusTimes};
+
+    fn lcg_matrix(nrows: usize, ncols: usize, per_row: usize, seed: u64) -> Csr<f64> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut coo = Coo::new(nrows, ncols);
+        for i in 0..nrows {
+            for _ in 0..per_row {
+                coo.push(i, next() % ncols, ((next() % 5) + 1) as f64);
+            }
+        }
+        coo.to_csr_with(|a, _| a)
+    }
+
+    fn cfg() -> Config {
+        Config { n_threads: 2, n_tiles: 4, ..Config::default() }
+    }
+
+    #[test]
+    fn default_descriptor_is_plain_masked_mxm() {
+        let a = lcg_matrix(20, 20, 4, 1);
+        let m = lcg_matrix(20, 20, 4, 2);
+        let want = masked_mxm::<PlusTimes>(&m, &a, &a, &cfg()).unwrap();
+        let got =
+            mxm_desc::<PlusTimes>(None, Some(&m), &a, &a, &cfg(), Descriptor::new()).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn transposed_operands() {
+        let a = lcg_matrix(12, 18, 3, 3);
+        let b = lcg_matrix(12, 15, 3, 4);
+        let m = lcg_matrix(18, 15, 4, 5);
+        // C = M ⊙ (Aᵀ × B)
+        let want = Dense::masked_matmul::<PlusTimes, f64>(&a.transpose(), &b, &m);
+        let got = mxm_desc::<PlusTimes>(
+            None,
+            Some(&m),
+            &a,
+            &b,
+            &cfg(),
+            Descriptor::new().with_transpose_a(),
+        )
+        .unwrap();
+        assert_eq!(got, want);
+
+        // C = M2 ⊙ (A × Bᵀ) with A: 12x18, Bᵀ: 18x... need B: k x 18
+        let b2 = lcg_matrix(9, 18, 3, 6);
+        let m2 = lcg_matrix(12, 9, 4, 7);
+        let want = Dense::masked_matmul::<PlusTimes, f64>(&a, &b2.transpose(), &m2);
+        let got = mxm_desc::<PlusTimes>(
+            None,
+            Some(&m2),
+            &a,
+            &b2,
+            &cfg(),
+            Descriptor::new().with_transpose_b(),
+        )
+        .unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn complement_mask_descriptor() {
+        let a = lcg_matrix(15, 15, 4, 8);
+        let m = lcg_matrix(15, 15, 4, 9);
+        let got = mxm_desc::<PlusTimes>(
+            None,
+            Some(&m),
+            &a,
+            &a,
+            &cfg(),
+            Descriptor::new().with_complement_mask(),
+        )
+        .unwrap();
+        for (i, j, _) in got.iter() {
+            assert!(!m.contains(i, j as usize));
+        }
+        // no mask + complement = empty
+        let empty = mxm_desc::<PlusTimes>(
+            None,
+            None,
+            &a,
+            &a,
+            &cfg(),
+            Descriptor::new().with_complement_mask(),
+        )
+        .unwrap();
+        assert_eq!(empty.nnz(), 0);
+    }
+
+    #[test]
+    fn accumulation_merges_with_existing_output() {
+        let a = lcg_matrix(10, 10, 3, 10);
+        let m = a.clone();
+        let c0 = lcg_matrix(10, 10, 2, 11);
+        let product = masked_mxm::<PlusTimes>(&m, &a, &a, &cfg()).unwrap();
+        let got =
+            mxm_desc::<PlusTimes>(Some(&c0), Some(&m), &a, &a, &cfg(), Descriptor::new())
+                .unwrap();
+        let want = ewise_add::<PlusTimes>(&c0, &product);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn replace_drops_entries_outside_the_mask() {
+        let a = lcg_matrix(10, 10, 3, 12);
+        let m = lcg_matrix(10, 10, 2, 13);
+        // C0 has entries everywhere; with REPLACE only mask-admitted C0
+        // entries survive the merge
+        let c0 = lcg_matrix(10, 10, 4, 14);
+        let got = mxm_desc::<PlusTimes>(
+            Some(&c0),
+            Some(&m),
+            &a,
+            &a,
+            &cfg(),
+            Descriptor::new().with_replace(),
+        )
+        .unwrap();
+        let product = masked_mxm::<PlusTimes>(&m, &a, &a, &cfg()).unwrap();
+        for (i, j, _) in got.iter() {
+            let ju = j as usize;
+            assert!(
+                m.contains(i, ju) || product.contains(i, ju),
+                "({i},{j}) survived replace outside the mask"
+            );
+        }
+    }
+
+    #[test]
+    fn c_shape_mismatch_rejected() {
+        let a = lcg_matrix(10, 10, 3, 15);
+        let c_bad = lcg_matrix(4, 4, 2, 16);
+        let e = mxm_desc::<PlusTimes>(Some(&c_bad), Some(&a), &a, &a, &cfg(), Descriptor::new());
+        assert!(e.is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! k-truss decomposition by support peeling.
+//!
+//! The k-truss of a graph is the maximal subgraph in which every edge
+//! participates in at least `k − 2` triangles. The GraphBLAS formulation
+//! (Low et al., cited by the paper's §I) alternates the masked product
+//! `S = A ⊙ (A × A)` — per-edge triangle support, i.e. exactly the
+//! paper's benchmark kernel — with edge deletion, until a fixpoint.
+
+use crate::grb::masked_mxm;
+use mspgemm_core::Config;
+use mspgemm_sparse::{Csr, PlusPair, SparseError};
+
+/// Result of a k-truss computation.
+#[derive(Clone, Debug)]
+pub struct KTrussResult {
+    /// Boolean adjacency of the k-truss subgraph (symmetric).
+    pub truss: Csr<u64>,
+    /// Peeling rounds until the fixpoint.
+    pub rounds: usize,
+}
+
+/// Compute the k-truss of a symmetric loop-free adjacency matrix.
+///
+/// `k >= 2`; the 2-truss is the graph itself minus nothing (every edge
+/// trivially has ≥ 0 triangles), so peeling starts mattering at `k = 3`.
+pub fn ktruss<T: Copy>(a: &Csr<T>, k: usize, config: &Config) -> Result<KTrussResult, SparseError> {
+    assert!(k >= 2, "k-truss is defined for k >= 2");
+    let min_support = (k - 2) as u64;
+    let mut current = a.spones(1u64);
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        // per-edge support on the current subgraph
+        let support = masked_mxm::<PlusPair>(&current, &current, &current, config)?;
+        // keep edges with enough support. `support` stores an entry for
+        // every surviving *written* position; edges of `current` whose
+        // support row entry is absent have support 0.
+        let kept = if min_support == 0 {
+            current.clone()
+        } else {
+            support.select(|_, _, v| v >= min_support).spones(1u64)
+        };
+        if kept.nnz() == current.nnz() {
+            return Ok(KTrussResult { truss: kept, rounds });
+        }
+        current = kept;
+        if current.nnz() == 0 {
+            return Ok(KTrussResult { truss: current, rounds });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspgemm_sparse::Coo;
+
+    fn undirected(edges: &[(usize, usize)], n: usize) -> Csr<f64> {
+        let mut coo = Coo::new(n, n);
+        for &(u, v) in edges {
+            coo.push_symmetric(u, v, 1.0);
+        }
+        coo.to_csr_with(|a, _| a)
+    }
+
+    fn cfg() -> Config {
+        Config { n_threads: 2, n_tiles: 4, ..Config::default() }
+    }
+
+    #[test]
+    fn triangle_is_a_3_truss() {
+        let a = undirected(&[(0, 1), (1, 2), (0, 2)], 3);
+        let r = ktruss(&a, 3, &cfg()).unwrap();
+        assert_eq!(r.truss.nnz(), 6); // all 3 undirected edges survive
+    }
+
+    #[test]
+    fn tail_edge_is_peeled_from_3_truss() {
+        // triangle 0-1-2 plus pendant edge 2-3
+        let a = undirected(&[(0, 1), (1, 2), (0, 2), (2, 3)], 4);
+        let r = ktruss(&a, 3, &cfg()).unwrap();
+        assert_eq!(r.truss.nnz(), 6, "pendant edge must be removed");
+        assert!(!r.truss.contains(2, 3));
+        assert!(r.truss.contains(0, 1));
+    }
+
+    #[test]
+    fn k4_is_a_4_truss_but_not_5() {
+        let mut edges = Vec::new();
+        for u in 0..4 {
+            for v in u + 1..4 {
+                edges.push((u, v));
+            }
+        }
+        let a = undirected(&edges, 4);
+        // every edge of K4 is in exactly 2 triangles → 4-truss survives
+        let r4 = ktruss(&a, 4, &cfg()).unwrap();
+        assert_eq!(r4.truss.nnz(), 12);
+        // 5-truss needs support 3 → everything peels away
+        let r5 = ktruss(&a, 5, &cfg()).unwrap();
+        assert_eq!(r5.truss.nnz(), 0);
+    }
+
+    #[test]
+    fn two_truss_keeps_everything() {
+        let a = undirected(&[(0, 1), (1, 2)], 3); // a path, no triangles
+        let r = ktruss(&a, 2, &cfg()).unwrap();
+        assert_eq!(r.truss.nnz(), 4);
+        assert_eq!(r.rounds, 1);
+    }
+
+    #[test]
+    fn cascading_peel_takes_multiple_rounds() {
+        // chain of triangles sharing single vertices: removing the last
+        // triangle's weak edge cascades
+        // triangles: (0,1,2), (2,3,4); edge (4,5) pendant
+        let a = undirected(
+            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5)],
+            6,
+        );
+        let r = ktruss(&a, 3, &cfg()).unwrap();
+        assert!(!r.truss.contains(4, 5));
+        assert!(r.truss.contains(0, 1));
+        assert!(r.truss.contains(3, 4));
+        assert_eq!(r.truss.nnz(), 12);
+    }
+
+    #[test]
+    fn truss_is_symmetric() {
+        let g = mspgemm_gen::er::erdos_renyi(100, 400, 3);
+        let r = ktruss(&g, 3, &cfg()).unwrap();
+        assert!(r.truss.is_structurally_symmetric());
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn k_below_two_panics() {
+        let a = undirected(&[(0, 1)], 2);
+        let _ = ktruss(&a, 1, &cfg());
+    }
+}

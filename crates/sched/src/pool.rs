@@ -1,0 +1,404 @@
+//! The tile scheduler — OpenMP `schedule(static|dynamic)` semantics over
+//! scoped threads.
+//!
+//! The paper's experiments sweep the OpenMP scheduling policy with "each
+//! tile assigned to one thread" (§IV-C). We reproduce both policies
+//! directly rather than delegating to rayon, so the scheduling behaviour
+//! under measurement is exactly the one described:
+//!
+//! * **static** — tiles are partitioned offline into `p` contiguous blocks,
+//!   one per thread, no runtime coordination at all ("the tasks are
+//!   scheduled offline and no runtime load balancing is used", §III-A);
+//! * **dynamic** — a shared atomic counter; each thread claims the next
+//!   `chunk` tiles when it runs dry ("a runtime system schedules threads to
+//!   remaining tasks as soon as they complete their current task").
+//!
+//! Worker state (the sparse accumulator, in the masked-SpGEMM driver) is
+//! created *inside* each worker thread via the `init` callback, giving
+//! per-thread scratch without `Sync` on the state itself.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// The scheduling policy axis of the Fig. 10/11 sweeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Schedule {
+    /// Contiguous blocks of tiles assigned offline (OpenMP `static`).
+    Static,
+    /// Atomic work queue; threads claim `chunk` tiles at a time (OpenMP
+    /// `dynamic, chunk`). The paper (and OpenMP's default) uses chunk 1.
+    Dynamic {
+        /// Tiles claimed per queue operation.
+        chunk: usize,
+    },
+    /// OpenMP `guided` semantics — an extension beyond the paper's
+    /// static/dynamic sweep: each grab takes `max(chunk,
+    /// remaining / 2p)` tiles, so early grabs are large (low queue
+    /// traffic) and late grabs shrink (good tail balance).
+    Guided {
+        /// Minimum tiles claimed per queue operation.
+        chunk: usize,
+    },
+}
+
+impl Schedule {
+    /// The two policies the paper sweeps, with the default dynamic chunk.
+    pub fn all() -> [Schedule; 2] {
+        [Schedule::Dynamic { chunk: 1 }, Schedule::Static]
+    }
+
+    /// Label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Schedule::Static => "Static",
+            Schedule::Dynamic { .. } => "Dynamic",
+            Schedule::Guided { .. } => "Guided",
+        }
+    }
+}
+
+/// Per-thread execution report, used by the harness to quantify load
+/// (im)balance — the quantity the paper's tiling discussion is about.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadReport {
+    /// Tiles this thread executed.
+    pub tiles_run: usize,
+    /// Wall time the thread spent inside tile bodies.
+    pub busy: Duration,
+}
+
+/// Execute `n_tiles` tiles on `n_threads` worker threads under `schedule`.
+///
+/// For each worker thread `t`, `init(t)` runs first (in that thread) to
+/// build its private state `W`; then `body(&mut state, tile_index)` runs
+/// for every tile the scheduler hands the thread. Returns one
+/// [`ThreadReport`] per thread.
+///
+/// Panics in `body` propagate (the scope joins all threads first).
+pub fn run_tiles<W, I, F>(
+    n_threads: usize,
+    n_tiles: usize,
+    schedule: Schedule,
+    init: I,
+    body: F,
+) -> Vec<ThreadReport>
+where
+    I: Fn(usize) -> W + Sync,
+    F: Fn(&mut W, usize) + Sync,
+{
+    assert!(n_threads > 0, "need at least one thread");
+    if n_tiles == 0 {
+        return vec![ThreadReport::default(); n_threads];
+    }
+    let queue = AtomicUsize::new(0);
+    let mut reports = vec![ThreadReport::default(); n_threads];
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n_threads);
+        for t in 0..n_threads {
+            let init = &init;
+            let body = &body;
+            let queue = &queue;
+            handles.push(scope.spawn(move || {
+                let mut state = init(t);
+                let mut report = ThreadReport::default();
+                match schedule {
+                    Schedule::Static => {
+                        // contiguous block, same arithmetic as uniform tiling
+                        let base = n_tiles / n_threads;
+                        let extra = n_tiles % n_threads;
+                        let lo = t * base + t.min(extra);
+                        let len = base + usize::from(t < extra);
+                        for tile in lo..lo + len {
+                            let start = Instant::now();
+                            body(&mut state, tile);
+                            report.busy += start.elapsed();
+                            report.tiles_run += 1;
+                        }
+                    }
+                    Schedule::Dynamic { chunk } => {
+                        let chunk = chunk.max(1);
+                        loop {
+                            let lo = queue.fetch_add(chunk, Ordering::Relaxed);
+                            if lo >= n_tiles {
+                                break;
+                            }
+                            let hi = (lo + chunk).min(n_tiles);
+                            for tile in lo..hi {
+                                let start = Instant::now();
+                                body(&mut state, tile);
+                                report.busy += start.elapsed();
+                                report.tiles_run += 1;
+                            }
+                        }
+                    }
+                    Schedule::Guided { chunk } => {
+                        let chunk = chunk.max(1);
+                        loop {
+                            // CAS loop: grab size depends on how much is left
+                            let lo = loop {
+                                let cur = queue.load(Ordering::Relaxed);
+                                if cur >= n_tiles {
+                                    break usize::MAX;
+                                }
+                                let remaining = n_tiles - cur;
+                                let grab = (remaining / (2 * n_threads)).max(chunk);
+                                match queue.compare_exchange_weak(
+                                    cur,
+                                    cur + grab,
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                ) {
+                                    Ok(_) => break cur,
+                                    Err(_) => continue,
+                                }
+                            };
+                            if lo == usize::MAX {
+                                break;
+                            }
+                            let remaining = n_tiles - lo;
+                            let grab = (remaining / (2 * n_threads)).max(chunk);
+                            let hi = (lo + grab).min(n_tiles);
+                            for tile in lo..hi {
+                                let start = Instant::now();
+                                body(&mut state, tile);
+                                report.busy += start.elapsed();
+                                report.tiles_run += 1;
+                            }
+                        }
+                    }
+                }
+                report
+            }));
+        }
+        for (t, h) in handles.into_iter().enumerate() {
+            reports[t] = h.join().expect("worker thread panicked");
+        }
+    });
+    reports
+}
+
+/// Load-imbalance metric over the per-thread busy times:
+/// `max(busy) / mean(busy)`; 1.0 is perfect balance.
+pub fn imbalance(reports: &[ThreadReport]) -> f64 {
+    let times: Vec<f64> = reports.iter().map(|r| r.busy.as_secs_f64()).collect();
+    let max = times.iter().cloned().fold(0.0, f64::max);
+    let mean = times.iter().sum::<f64>() / times.len().max(1) as f64;
+    if mean == 0.0 {
+        1.0
+    } else {
+        max / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn every_tile_runs_exactly_once_static() {
+        let n_tiles = 101;
+        let counts: Vec<AtomicU64> = (0..n_tiles).map(|_| AtomicU64::new(0)).collect();
+        let reports = run_tiles(
+            4,
+            n_tiles,
+            Schedule::Static,
+            |_| (),
+            |_, tile| {
+                counts[tile].fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "tile {i}");
+        }
+        assert_eq!(reports.iter().map(|r| r.tiles_run).sum::<usize>(), n_tiles);
+        // static: block sizes differ by at most 1
+        let max = reports.iter().map(|r| r.tiles_run).max().unwrap();
+        let min = reports.iter().map(|r| r.tiles_run).min().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn every_tile_runs_exactly_once_dynamic() {
+        for chunk in [1, 3, 16] {
+            let n_tiles = 97;
+            let counts: Vec<AtomicU64> = (0..n_tiles).map(|_| AtomicU64::new(0)).collect();
+            let reports = run_tiles(
+                3,
+                n_tiles,
+                Schedule::Dynamic { chunk },
+                |_| (),
+                |_, tile| {
+                    counts[tile].fetch_add(1, Ordering::Relaxed);
+                },
+            );
+            for (i, c) in counts.iter().enumerate() {
+                assert_eq!(c.load(Ordering::Relaxed), 1, "tile {i} chunk {chunk}");
+            }
+            assert_eq!(reports.iter().map(|r| r.tiles_run).sum::<usize>(), n_tiles);
+        }
+    }
+
+    #[test]
+    fn every_tile_runs_exactly_once_guided() {
+        for chunk in [1, 4] {
+            for n_tiles in [5usize, 97, 1000] {
+                let counts: Vec<AtomicU64> = (0..n_tiles).map(|_| AtomicU64::new(0)).collect();
+                let reports = run_tiles(
+                    3,
+                    n_tiles,
+                    Schedule::Guided { chunk },
+                    |_| (),
+                    |_, tile| {
+                        counts[tile].fetch_add(1, Ordering::Relaxed);
+                    },
+                );
+                for (i, c) in counts.iter().enumerate() {
+                    assert_eq!(
+                        c.load(Ordering::Relaxed),
+                        1,
+                        "tile {i}, chunk {chunk}, n {n_tiles}"
+                    );
+                }
+                assert_eq!(
+                    reports.iter().map(|r| r.tiles_run).sum::<usize>(),
+                    n_tiles
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn guided_balances_skewed_work() {
+        // tile 0 is much slower; guided's shrinking tail chunks must let
+        // the other thread absorb the remaining tiles (like dynamic)
+        let reports = run_tiles(
+            2,
+            64,
+            Schedule::Guided { chunk: 1 },
+            |_| (),
+            |_, tile| {
+                let spins = if tile == 0 { 6_000_000 } else { 5_000 };
+                let mut x = 0u64;
+                for i in 0..spins {
+                    x = x.wrapping_add(i);
+                }
+                std::hint::black_box(x);
+            },
+        );
+        let total: usize = reports.iter().map(|r| r.tiles_run).sum();
+        assert_eq!(total, 64);
+        let max_tiles = reports.iter().map(|r| r.tiles_run).max().unwrap();
+        assert!(
+            max_tiles > 32,
+            "the unblocked thread should take more than half the tiles: {:?}",
+            reports.iter().map(|r| r.tiles_run).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn per_thread_state_is_private() {
+        // each thread pushes into its own Vec; totals must add up with no
+        // interleaving corruption
+        let total = AtomicU64::new(0);
+        run_tiles(
+            4,
+            64,
+            Schedule::Dynamic { chunk: 1 },
+            |_| Vec::<usize>::new(),
+            |state, tile| {
+                state.push(tile);
+                total.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(total.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn init_receives_thread_index() {
+        let seen: Vec<AtomicU64> = (0..3).map(|_| AtomicU64::new(0)).collect();
+        run_tiles(
+            3,
+            3,
+            Schedule::Static,
+            |t| {
+                seen[t].fetch_add(1, Ordering::Relaxed);
+                t
+            },
+            |_, _| {},
+        );
+        for s in &seen {
+            assert_eq!(s.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn dynamic_balances_skewed_work() {
+        // tile 0 is 100x slower; dynamic should let the other thread take
+        // everything else. With static, thread 0 would own half the tiles
+        // *plus* the slow one.
+        let reports = run_tiles(
+            2,
+            32,
+            Schedule::Dynamic { chunk: 1 },
+            |_| (),
+            |_, tile| {
+                let spins = if tile == 0 { 4_000_000 } else { 10_000 };
+                let mut x = 0u64;
+                for i in 0..spins {
+                    x = x.wrapping_add(i);
+                }
+                std::hint::black_box(x);
+            },
+        );
+        let min_tiles = reports.iter().map(|r| r.tiles_run).min().unwrap();
+        let max_tiles = reports.iter().map(|r| r.tiles_run).max().unwrap();
+        assert!(
+            max_tiles > min_tiles,
+            "dynamic scheduling should shift tiles away from the slow thread \
+             (got {min_tiles} vs {max_tiles})"
+        );
+    }
+
+    #[test]
+    fn zero_tiles_is_a_noop() {
+        let reports = run_tiles(4, 0, Schedule::Static, |_| (), |_, _: usize| panic!("no tiles"));
+        assert_eq!(reports.len(), 4);
+        assert!(reports.iter().all(|r| r.tiles_run == 0));
+    }
+
+    #[test]
+    fn more_threads_than_tiles() {
+        let counts: Vec<AtomicU64> = (0..2).map(|_| AtomicU64::new(0)).collect();
+        run_tiles(
+            8,
+            2,
+            Schedule::Static,
+            |_| (),
+            |_, tile| {
+                counts[tile].fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        for c in &counts {
+            assert_eq!(c.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn imbalance_metric() {
+        let mk = |ms: u64| ThreadReport { tiles_run: 1, busy: Duration::from_millis(ms) };
+        let balanced = vec![mk(100), mk(100)];
+        assert!((imbalance(&balanced) - 1.0).abs() < 1e-9);
+        let skewed = vec![mk(300), mk(100)];
+        assert!((imbalance(&skewed) - 1.5).abs() < 1e-9);
+        assert_eq!(imbalance(&[ThreadReport::default()]), 1.0);
+    }
+
+    #[test]
+    fn schedule_labels() {
+        assert_eq!(Schedule::Static.label(), "Static");
+        assert_eq!(Schedule::Dynamic { chunk: 1 }.label(), "Dynamic");
+        assert_eq!(Schedule::all().len(), 2);
+    }
+}

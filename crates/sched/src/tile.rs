@@ -1,0 +1,217 @@
+//! Row-range tiles and the two tiling strategies of Fig. 6.
+
+use crate::work::work_prefix;
+
+/// A contiguous range of output rows `[lo, hi)` processed as one unit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tile {
+    /// First row (inclusive).
+    pub lo: usize,
+    /// Last row (exclusive).
+    pub hi: usize,
+}
+
+impl Tile {
+    /// Number of rows in the tile.
+    pub fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// `true` if the tile covers no rows (balanced tiling can produce empty
+    /// tiles when one row dominates the total work).
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Iterate the rows of the tile.
+    pub fn rows(&self) -> std::ops::Range<usize> {
+        self.lo..self.hi
+    }
+}
+
+/// The tiling strategy axis of the Fig. 10/11 sweeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TilingStrategy {
+    /// Homogeneous tiles — equal row counts (Fig. 6.1).
+    Uniform,
+    /// FLOP-balanced tiles — equal estimated work (Fig. 6.2, Eq. 2).
+    FlopBalanced,
+}
+
+impl TilingStrategy {
+    /// Both strategies, in the paper's presentation order.
+    pub fn all() -> [TilingStrategy; 2] {
+        [TilingStrategy::FlopBalanced, TilingStrategy::Uniform]
+    }
+
+    /// Label used by the benchmark reports (matches the paper's figures).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TilingStrategy::Uniform => "Uniform",
+            TilingStrategy::FlopBalanced => "FlopBalanced",
+        }
+    }
+}
+
+/// Split `nrows` rows into `n_tiles` homogeneous tiles ("each tile roughly
+/// has the same number of rows", Fig. 6.1). The first `nrows % n_tiles`
+/// tiles get one extra row; never returns empty tiles unless
+/// `n_tiles > nrows`.
+pub fn uniform_tiles(nrows: usize, n_tiles: usize) -> Vec<Tile> {
+    assert!(n_tiles > 0, "need at least one tile");
+    let base = nrows / n_tiles;
+    let extra = nrows % n_tiles;
+    let mut tiles = Vec::with_capacity(n_tiles);
+    let mut lo = 0;
+    for t in 0..n_tiles {
+        let len = base + usize::from(t < extra);
+        tiles.push(Tile { lo, hi: lo + len });
+        lo += len;
+    }
+    debug_assert_eq!(lo, nrows);
+    tiles
+}
+
+/// Split rows into `n_tiles` FLOP-balanced tiles: tile `t` ends at the
+/// first row whose work prefix reaches `total · (t+1) / n_tiles`
+/// ("The tiles are then created based on the average number of
+/// operations", Fig. 6.2).
+///
+/// `work` is the per-row Eq. 2 estimate from [`crate::work::row_work`].
+/// A single gigantic row cannot be split, so tiles adjacent to it may come
+/// out empty — callers must tolerate empty tiles (the schedulers do).
+pub fn balanced_tiles(work: &[u64], n_tiles: usize) -> Vec<Tile> {
+    assert!(n_tiles > 0, "need at least one tile");
+    let prefix = work_prefix(work);
+    let total = *prefix.last().unwrap();
+    let nrows = work.len();
+    let mut tiles = Vec::with_capacity(n_tiles);
+    let mut lo = 0usize;
+    for t in 0..n_tiles {
+        let target = split_target(total, t + 1, n_tiles);
+        // smallest hi whose cumulative work prefix[hi] reaches the target;
+        // the row that crosses the boundary goes to the earlier tile
+        let hi = if t + 1 == n_tiles {
+            nrows
+        } else {
+            prefix.partition_point(|&p| p < target).clamp(lo, nrows)
+        };
+        tiles.push(Tile { lo, hi });
+        lo = hi;
+    }
+    debug_assert_eq!(tiles.last().unwrap().hi, nrows);
+    tiles
+}
+
+/// `total · num / den` without u64 overflow for realistic totals.
+#[inline]
+fn split_target(total: u64, num: usize, den: usize) -> u64 {
+    ((total as u128 * num as u128) / den as u128) as u64
+}
+
+/// Dispatch helper: tile by strategy, reusing a precomputed work vector for
+/// the balanced case (uniform tiling ignores it).
+pub fn tiles_for(strategy: TilingStrategy, nrows: usize, work: &[u64], n_tiles: usize) -> Vec<Tile> {
+    match strategy {
+        TilingStrategy::Uniform => uniform_tiles(nrows, n_tiles),
+        TilingStrategy::FlopBalanced => balanced_tiles(work, n_tiles),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_partition(tiles: &[Tile], nrows: usize) {
+        assert_eq!(tiles.first().unwrap().lo, 0);
+        assert_eq!(tiles.last().unwrap().hi, nrows);
+        for w in tiles.windows(2) {
+            assert_eq!(w[0].hi, w[1].lo, "tiles must be contiguous");
+        }
+    }
+
+    #[test]
+    fn uniform_covers_rows_exactly_once() {
+        for (nrows, n_tiles) in [(100, 7), (5, 5), (3, 8), (1000, 64)] {
+            let tiles = uniform_tiles(nrows, n_tiles);
+            assert_eq!(tiles.len(), n_tiles);
+            assert_partition(&tiles, nrows);
+            let max = tiles.iter().map(Tile::len).max().unwrap();
+            let min = tiles.iter().map(Tile::len).min().unwrap();
+            assert!(max - min <= 1, "uniform tiles must differ by at most one row");
+        }
+    }
+
+    #[test]
+    fn balanced_equalises_work() {
+        // rows with work 1..=100: total 5050, 10 tiles of ~505 each
+        let work: Vec<u64> = (1..=100).collect();
+        let tiles = balanced_tiles(&work, 10);
+        assert_eq!(tiles.len(), 10);
+        assert_partition(&tiles, 100);
+        let tile_work: Vec<u64> =
+            tiles.iter().map(|t| work[t.lo..t.hi].iter().sum()).collect();
+        let avg = 5050 / 10;
+        for (i, &tw) in tile_work.iter().enumerate() {
+            assert!(
+                (tw as i64 - avg as i64).unsigned_abs() <= 110,
+                "tile {i} work {tw} too far from {avg} (tiles: {tiles:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn balanced_handles_one_giant_row() {
+        let mut work = vec![1u64; 10];
+        work[4] = 1_000_000;
+        let tiles = balanced_tiles(&work, 4);
+        assert_partition(&tiles, 10);
+        // the giant row must sit alone-ish in one tile; others may be empty
+        let giant_tile = tiles.iter().find(|t| t.rows().contains(&4)).unwrap();
+        let gw: u64 = work[giant_tile.lo..giant_tile.hi].iter().sum();
+        assert!(gw >= 1_000_000);
+    }
+
+    #[test]
+    fn balanced_with_zero_work_everywhere() {
+        let work = vec![0u64; 20];
+        let tiles = balanced_tiles(&work, 4);
+        assert_partition(&tiles, 20);
+    }
+
+    #[test]
+    fn balanced_with_more_tiles_than_rows() {
+        let work = vec![5u64; 3];
+        let tiles = balanced_tiles(&work, 8);
+        assert_eq!(tiles.len(), 8);
+        assert_partition(&tiles, 3);
+    }
+
+    #[test]
+    fn uniform_more_tiles_than_rows() {
+        let tiles = uniform_tiles(3, 8);
+        assert_partition(&tiles, 3);
+        assert_eq!(tiles.iter().filter(|t| t.is_empty()).count(), 5);
+    }
+
+    #[test]
+    fn strategy_dispatch() {
+        let work = vec![1u64, 100, 1, 1];
+        let u = tiles_for(TilingStrategy::Uniform, 4, &work, 2);
+        assert_eq!(u[0].len(), 2);
+        let b = tiles_for(TilingStrategy::FlopBalanced, 4, &work, 2);
+        // balanced puts the heavy row's end earlier
+        assert!(b[0].hi <= 2);
+        assert_eq!(TilingStrategy::all().len(), 2);
+        assert_eq!(TilingStrategy::FlopBalanced.label(), "FlopBalanced");
+    }
+
+    #[test]
+    fn tile_helpers() {
+        let t = Tile { lo: 3, hi: 7 };
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(t.rows().collect::<Vec<_>>(), vec![3, 4, 5, 6]);
+        assert!(Tile { lo: 2, hi: 2 }.is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! The Eq. 2 work estimator.
+//!
+//! For the mask-preload algorithm (paper Fig. 5), the work of output row
+//! `i` is estimated as
+//!
+//! ```text
+//! W[i] = nnz(M[i,:]) + Σ_{A[i,k] ≠ 0} nnz(B[k,:])        (Eq. 2)
+//! ```
+//!
+//! — the mask load plus one linear scan of every fetched `B` row. Because
+//! `B` is CSR, each `nnz(B[k,:])` is a constant-time pointer difference, so
+//! the whole estimate costs `O(nnz(A) + m)`, cheap enough to run before
+//! every multiply (the paper's §V-A concludes this estimate "is indeed a
+//! good estimate of load").
+
+use mspgemm_sparse::Csr;
+use rayon::prelude::*;
+
+/// Per-row work estimates `W[i]` (Eq. 2) for `C = M ⊙ (A × B)`.
+///
+/// Parallelised over rows with rayon; the estimator itself is exactly the
+/// paper's, including counting the mask load.
+pub fn row_work<TA, TB, TM>(a: &Csr<TA>, b: &Csr<TB>, mask: &Csr<TM>) -> Vec<u64>
+where
+    TA: Copy + Sync,
+    TB: Copy + Sync,
+    TM: Copy + Sync,
+{
+    assert_eq!(a.ncols(), b.nrows(), "row_work: inner dimensions");
+    assert_eq!(mask.nrows(), a.nrows(), "row_work: mask rows");
+    (0..a.nrows())
+        .into_par_iter()
+        .map(|i| {
+            let (acols, _) = a.row(i);
+            let mut w = mask.row_nnz(i) as u64;
+            for &k in acols {
+                w += b.row_nnz(k as usize) as u64;
+            }
+            w
+        })
+        .collect()
+}
+
+/// Total estimated work — `Σ_i W[i]`.
+pub fn total_work(work: &[u64]) -> u64 {
+    work.iter().sum()
+}
+
+/// Exclusive prefix sums of `work`, with the grand total appended:
+/// `out[i] = Σ_{r<i} work[r]`, `out[n] = total`. The balanced tiler splits
+/// on this array.
+pub fn work_prefix(work: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(work.len() + 1);
+    let mut acc = 0u64;
+    out.push(0);
+    for &w in work {
+        acc += w;
+        out.push(acc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspgemm_sparse::Coo;
+
+    fn adj(edges: &[(usize, usize)], n: usize) -> Csr<f64> {
+        let mut coo = Coo::new(n, n);
+        for &(u, v) in edges {
+            coo.push(u, v, 1.0);
+        }
+        coo.to_csr_with(|a, _| a)
+    }
+
+    #[test]
+    fn work_matches_hand_computation() {
+        // A: row0 = {1, 2}, row1 = {0}, row2 = {}
+        let a = adj(&[(0, 1), (0, 2), (1, 0)], 3);
+        // B: nnz per row = [1, 2, 0]
+        let b = adj(&[(0, 0), (1, 0), (1, 2)], 3);
+        // M: nnz per row = [1, 1, 1]
+        let m = adj(&[(0, 0), (1, 1), (2, 2)], 3);
+        let w = row_work(&a, &b, &m);
+        // W[0] = 1 + nnz(B[1]) + nnz(B[2]) = 1 + 2 + 0 = 3
+        // W[1] = 1 + nnz(B[0]) = 2
+        // W[2] = 1 + 0 = 1
+        assert_eq!(w, vec![3, 2, 1]);
+        assert_eq!(total_work(&w), 6);
+    }
+
+    #[test]
+    fn empty_a_row_costs_only_the_mask() {
+        let a = adj(&[(0, 0)], 2);
+        let b = adj(&[(0, 0), (0, 1)], 2);
+        let m = adj(&[(0, 0), (1, 0), (1, 1)], 2);
+        let w = row_work(&a, &b, &m);
+        assert_eq!(w[1], 2); // mask only
+    }
+
+    #[test]
+    fn prefix_has_total_at_end() {
+        let p = work_prefix(&[3, 2, 1]);
+        assert_eq!(p, vec![0, 3, 5, 6]);
+    }
+
+    #[test]
+    fn estimator_scales_with_dense_b_rows() {
+        // the circuit5M effect: one dense B row inflates every A row that
+        // references it
+        let n = 100;
+        let mut coo = Coo::new(n, n);
+        for j in 0..n {
+            if j != 50 {
+                coo.push(50, j, 1.0); // row 50 of B is dense
+            }
+        }
+        for i in 0..n {
+            if i != 50 {
+                coo.push(i, 50, 1.0); // every A row references it
+            }
+        }
+        let b = coo.to_csr_with(|a, _| a);
+        let m = b.clone();
+        let w = row_work(&b, &b, &m);
+        // every row except 50 pays the dense row's nnz
+        for i in 0..n {
+            if i != 50 {
+                assert!(w[i] >= 99, "row {i} work {} too small", w[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! COO (triplet) builder — the construction format used by the graph
+//! generators and the Matrix Market reader before conversion to [`Csr`].
+
+use crate::{Csr, Idx, SparseError, MAX_DIM};
+
+/// A coordinate-format sparse matrix under construction.
+///
+/// Entries may be pushed in any order and may contain duplicates; the
+/// conversion methods sort and combine them. Generators rely on this: R-MAT,
+/// for instance, naturally produces duplicate edges that must be merged.
+#[derive(Clone, Debug, Default)]
+pub struct Coo<T> {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(Idx, Idx, T)>,
+}
+
+impl<T: Copy> Coo<T> {
+    /// An empty builder for an `nrows × ncols` matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        assert!(nrows <= MAX_DIM && ncols <= MAX_DIM, "dimension exceeds Idx range");
+        Coo { nrows, ncols, entries: Vec::new() }
+    }
+
+    /// An empty builder with pre-reserved capacity for `cap` entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        assert!(nrows <= MAX_DIM && ncols <= MAX_DIM, "dimension exceeds Idx range");
+        Coo { nrows, ncols, entries: Vec::with_capacity(cap) }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of (possibly duplicate) entries pushed so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no entries have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Push one entry. Panics (in debug builds) on out-of-range indices.
+    #[inline]
+    pub fn push(&mut self, row: usize, col: usize, value: T) {
+        debug_assert!(row < self.nrows, "row {row} >= nrows {}", self.nrows);
+        debug_assert!(col < self.ncols, "col {col} >= ncols {}", self.ncols);
+        self.entries.push((row as Idx, col as Idx, value));
+    }
+
+    /// Push an entry and its transpose — convenient for building the
+    /// symmetric adjacency matrices of undirected graphs.
+    #[inline]
+    pub fn push_symmetric(&mut self, row: usize, col: usize, value: T) {
+        self.push(row, col, value);
+        if row != col {
+            self.push(col, row, value);
+        }
+    }
+
+    /// Checked push, for entries from untrusted input (Matrix Market).
+    pub fn try_push(&mut self, row: usize, col: usize, value: T) -> Result<(), SparseError> {
+        if row >= self.nrows {
+            return Err(SparseError::RowOutOfBounds { row, nrows: self.nrows });
+        }
+        if col >= self.ncols {
+            return Err(SparseError::ColumnOutOfBounds { row, col, ncols: self.ncols });
+        }
+        self.entries.push((row as Idx, col as Idx, value));
+        Ok(())
+    }
+
+    /// Raw access to the pushed triples.
+    pub fn entries(&self) -> &[(Idx, Idx, T)] {
+        &self.entries
+    }
+
+    /// Convert to CSR, combining duplicate entries with `combine`.
+    ///
+    /// Runs in `O(nnz log nnz)`; rows of the result are sorted and
+    /// duplicate-free, satisfying all [`Csr`] invariants by construction.
+    pub fn to_csr_with(&self, mut combine: impl FnMut(T, T) -> T) -> Csr<T> {
+        let mut sorted = self.entries.clone();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut row_ptr = vec![0usize; self.nrows + 1];
+        let mut col_idx: Vec<Idx> = Vec::with_capacity(sorted.len());
+        let mut values: Vec<T> = Vec::with_capacity(sorted.len());
+
+        let mut last: Option<(Idx, Idx)> = None;
+        for &(r, c, v) in &sorted {
+            if last == Some((r, c)) {
+                // duplicate of the previous (sorted) entry — combine in place
+                let lv = values.last_mut().expect("duplicate implies prior entry");
+                *lv = combine(*lv, v);
+                continue;
+            }
+            col_idx.push(c);
+            values.push(v);
+            row_ptr[r as usize + 1] += 1;
+            last = Some((r, c));
+        }
+        // prefix-sum the per-row counts into pointers
+        for i in 0..self.nrows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        Csr::from_parts_unchecked(self.nrows, self.ncols, row_ptr, col_idx, values)
+    }
+
+    /// Convert to CSR, summing duplicates with `+` via the supplied closure
+    /// being unnecessary for common numeric types — see [`Coo::to_csr_sum`].
+    /// Duplicates keep the **last** pushed value.
+    pub fn to_csr_last(&self) -> Csr<T> {
+        self.to_csr_with(|_, b| b)
+    }
+}
+
+impl<T: Copy + std::ops::Add<Output = T>> Coo<T> {
+    /// Convert to CSR, summing duplicate entries.
+    pub fn to_csr_sum(&self) -> Csr<T> {
+        self.to_csr_with(|a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_convert() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(2, 1, 4.0);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 2, 2.0);
+        coo.push(2, 0, 3.0);
+        let csr = coo.to_csr_sum();
+        assert_eq!(csr.nnz(), 4);
+        assert_eq!(csr.get(0, 0), Some(1.0));
+        assert_eq!(csr.get(2, 1), Some(4.0));
+        assert_eq!(csr.row(0).0, &[0, 2]);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(0, 1, 2.5);
+        coo.push(1, 0, 1.0);
+        let csr = coo.to_csr_sum();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.get(0, 1), Some(3.5));
+    }
+
+    #[test]
+    fn duplicates_keep_last() {
+        let mut coo = Coo::new(1, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(0, 1, 9.0);
+        let csr = coo.to_csr_last();
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.get(0, 1), Some(9.0));
+    }
+
+    #[test]
+    fn symmetric_push() {
+        let mut coo = Coo::new(3, 3);
+        coo.push_symmetric(0, 2, 1u32);
+        coo.push_symmetric(1, 1, 5u32);
+        assert_eq!(coo.len(), 3); // diagonal pushed once
+        let csr = coo.to_csr_with(|a, _| a);
+        assert!(csr.is_structurally_symmetric());
+    }
+
+    #[test]
+    fn try_push_bounds() {
+        let mut coo = Coo::new(2, 2);
+        assert!(coo.try_push(0, 0, 1.0).is_ok());
+        assert!(matches!(
+            coo.try_push(2, 0, 1.0),
+            Err(SparseError::RowOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            coo.try_push(0, 5, 1.0),
+            Err(SparseError::ColumnOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_coo_gives_empty_csr() {
+        let coo: Coo<f64> = Coo::new(4, 4);
+        assert!(coo.is_empty());
+        let csr = coo.to_csr_sum();
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.nrows(), 4);
+    }
+
+    #[test]
+    fn unsorted_heavy_duplicate_stream() {
+        // Emulate an R-MAT-style stream with many repeats in random order.
+        let mut coo = Coo::new(4, 4);
+        let edges = [(3, 1), (0, 2), (3, 1), (0, 2), (3, 1), (2, 2)];
+        for &(r, c) in &edges {
+            coo.push(r, c, 1u64);
+        }
+        let csr = coo.to_csr_sum();
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.get(3, 1), Some(3));
+        assert_eq!(csr.get(0, 2), Some(2));
+        assert_eq!(csr.get(2, 2), Some(1));
+    }
+}

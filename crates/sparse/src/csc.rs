@@ -1,0 +1,116 @@
+//! Compressed Sparse Column storage.
+//!
+//! The paper's analysis is written for row-wise saxpy over CSR, noting that
+//! "by symmetry, our analysis also applies to column-wise saxpy over CSC
+//! operands" (§II-A). We provide CSC as a thin wrapper over a transposed
+//! [`Csr`]: a `Csc` is the CSR of the transpose, stored column-compressed.
+
+use crate::{Csr, Idx};
+
+/// A sparse matrix in CSC (compressed sparse column) format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csc<T> {
+    /// The transpose, stored as CSR: row `j` of `inner` is column `j` of the
+    /// logical matrix.
+    inner: Csr<T>,
+}
+
+impl<T: Copy> Csc<T> {
+    /// Build from a CSR matrix (transposition pass, `O(nnz + n)`).
+    pub fn from_csr(a: &Csr<T>) -> Self {
+        Csc { inner: a.transpose() }
+    }
+
+    /// Convert back to CSR.
+    pub fn to_csr(&self) -> Csr<T> {
+        self.inner.transpose()
+    }
+
+    /// Number of rows of the logical matrix.
+    pub fn nrows(&self) -> usize {
+        self.inner.ncols()
+    }
+
+    /// Number of columns of the logical matrix.
+    pub fn ncols(&self) -> usize {
+        self.inner.nrows()
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.inner.nnz()
+    }
+
+    /// The row indices and values of column `j`, sorted by row.
+    pub fn col(&self, j: usize) -> (&[Idx], &[T]) {
+        self.inner.row(j)
+    }
+
+    /// Number of stored entries in column `j`.
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.inner.row_nnz(j)
+    }
+
+    /// The column-pointer array.
+    pub fn col_ptr(&self) -> &[usize] {
+        self.inner.row_ptr()
+    }
+
+    /// Look up `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> Option<T> {
+        self.inner.get(j, i)
+    }
+
+    /// Borrow the underlying CSR of the **transpose**: row `j` of the
+    /// returned matrix is column `j` of `self`. This is what lets the
+    /// column-wise saxpy masked-SpGEMM reuse the row-wise kernels — the
+    /// paper's §II-A symmetry argument, made literal.
+    pub fn transposed_csr(&self) -> &Csr<T> {
+        &self.inner
+    }
+
+    /// Wrap an existing CSR as the CSC of its transpose (zero-cost): the
+    /// resulting `Csc` is `csr.transpose()` viewed column-wise.
+    pub fn from_transposed_csr(csr: Csr<T>) -> Self {
+        Csc { inner: csr }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Csr<f64> {
+        Csr::try_from_parts(
+            3,
+            3,
+            vec![0, 2, 2, 4],
+            vec![0, 2, 0, 1],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_csr_csc_csr() {
+        let a = small();
+        let c = Csc::from_csr(&a);
+        assert_eq!(c.to_csr(), a);
+    }
+
+    #[test]
+    fn column_access() {
+        let a = small();
+        let c = Csc::from_csr(&a);
+        assert_eq!(c.nrows(), 3);
+        assert_eq!(c.ncols(), 3);
+        assert_eq!(c.nnz(), 4);
+        // column 0 holds rows {0, 2}
+        let (rows, vals) = c.col(0);
+        assert_eq!(rows, &[0, 2]);
+        assert_eq!(vals, &[1.0, 3.0]);
+        assert_eq!(c.col_nnz(1), 1);
+        assert_eq!(c.get(2, 1), Some(4.0));
+        assert_eq!(c.get(1, 1), None);
+    }
+}

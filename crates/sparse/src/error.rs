@@ -1,0 +1,115 @@
+//! Error type shared by the sparse substrate.
+
+use std::fmt;
+
+/// Errors raised while constructing or manipulating sparse matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// A matrix dimension exceeds [`crate::MAX_DIM`].
+    DimensionTooLarge { dim: usize },
+    /// The shapes of two operands are incompatible for the requested
+    /// operation (e.g. `A: m×k` multiplied by `B: k'×n` with `k != k'`).
+    ShapeMismatch {
+        expected: (usize, usize),
+        found: (usize, usize),
+        context: &'static str,
+    },
+    /// A column index is out of bounds for the matrix's column count.
+    ColumnOutOfBounds { row: usize, col: usize, ncols: usize },
+    /// A row index is out of bounds for the matrix's row count.
+    RowOutOfBounds { row: usize, nrows: usize },
+    /// A CSR/CSC row-pointer array is malformed (wrong length, not
+    /// monotonically non-decreasing, or final entry != nnz).
+    MalformedPointers { detail: String },
+    /// Column indices within a row are not strictly increasing. Several
+    /// kernels (co-iteration's binary search in particular — Fig. 7 of the
+    /// paper) require sorted rows.
+    UnsortedRow { row: usize },
+    /// Duplicate column index within a row.
+    DuplicateEntry { row: usize, col: usize },
+    /// `col_idx` and `values` have different lengths.
+    LengthMismatch { indices: usize, values: usize },
+    /// Matrix Market parse failure.
+    Parse { line: usize, detail: String },
+    /// Underlying I/O failure (stored as a string so the error stays `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::DimensionTooLarge { dim } => {
+                write!(f, "dimension {dim} exceeds the maximum {}", crate::MAX_DIM)
+            }
+            SparseError::ShapeMismatch { expected, found, context } => write!(
+                f,
+                "shape mismatch in {context}: expected {}x{}, found {}x{}",
+                expected.0, expected.1, found.0, found.1
+            ),
+            SparseError::ColumnOutOfBounds { row, col, ncols } => {
+                write!(f, "column {col} out of bounds (ncols = {ncols}) in row {row}")
+            }
+            SparseError::RowOutOfBounds { row, nrows } => {
+                write!(f, "row {row} out of bounds (nrows = {nrows})")
+            }
+            SparseError::MalformedPointers { detail } => {
+                write!(f, "malformed row/column pointers: {detail}")
+            }
+            SparseError::UnsortedRow { row } => {
+                write!(f, "row {row} has unsorted or non-strictly-increasing column indices")
+            }
+            SparseError::DuplicateEntry { row, col } => {
+                write!(f, "duplicate entry at ({row}, {col})")
+            }
+            SparseError::LengthMismatch { indices, values } => write!(
+                f,
+                "col_idx has {indices} entries but values has {values}"
+            ),
+            SparseError::Parse { line, detail } => {
+                write!(f, "parse error at line {line}: {detail}")
+            }
+            SparseError::Io(detail) => write!(f, "I/O error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SparseError::ShapeMismatch {
+            expected: (3, 4),
+            found: (5, 6),
+            context: "spgemm",
+        };
+        let s = e.to_string();
+        assert!(s.contains("3x4"));
+        assert!(s.contains("5x6"));
+        assert!(s.contains("spgemm"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: SparseError = io.into();
+        assert!(matches!(e, SparseError::Io(_)));
+        assert!(e.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn errors_are_cloneable_and_comparable() {
+        let a = SparseError::UnsortedRow { row: 7 };
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,56 @@
+//! Online auto-tuning — the Fig. 12 flow as a library feature.
+//!
+//! Generates one graph per structural class, runs the staged tuner on
+//! each, and shows (a) what the tuner chose, (b) how the tuned
+//! configuration compares with the paper's fixed recommendation and with
+//! the worst configuration the tuner saw — i.e. how much the *choice*
+//! matters, which is the thesis of the paper.
+//!
+//! Run: `cargo run --release --example autotune [scale]`
+
+use masked_spgemm_repro::prelude::*;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let picks = ["GAP-road", "com-Orkut", "arabic-2005", "circuit5M"];
+
+    for spec in suite_specs().iter().filter(|s| picks.contains(&s.name)) {
+        let a = suite_graph(spec, scale).spones(1u64);
+        println!("\n=== {} ({} rows, {} nnz) ===", spec.name, a.nrows(), a.nnz());
+
+        let opts = TunerOptions::default();
+        let report = tune::<PlusPair>(&a, &a, &a, &opts);
+
+        let worst = report
+            .stage1
+            .iter()
+            .max_by_key(|m| m.time)
+            .expect("stage 1 is non-empty");
+        println!(
+            "tuner choice : {:<55} {:>8.2} ms",
+            report.best.label(),
+            report.best_time.as_secs_f64() * 1e3
+        );
+        println!(
+            "worst swept  : {:<55} {:>8.2} ms  ({:.1}x slower)",
+            worst.config.label(),
+            worst.time.as_secs_f64() * 1e3,
+            worst.time.as_secs_f64() / report.best_time.as_secs_f64()
+        );
+
+        // compare with the paper's static recommendation
+        let (_, stats) =
+            masked_spgemm_with_stats::<PlusPair>(&a, &a, &a, &Config::default()).unwrap();
+        println!(
+            "paper default: {:<55} {:>8.2} ms",
+            Config::default().label(),
+            stats.elapsed.as_secs_f64() * 1e3
+        );
+
+        // the tuned config must still be correct
+        let want = masked_spgemm::<PlusPair>(&a, &a, &a, &Config::default()).unwrap();
+        let got = masked_spgemm::<PlusPair>(&a, &a, &a, &report.best).unwrap();
+        assert_eq!(want, got, "tuning must not change results");
+        println!("tuned result identical to default result ✓");
+    }
+}

@@ -1,0 +1,13 @@
+#!/bin/bash
+# Regenerate every table and figure of the paper. Outputs land in results/.
+set -e
+export MSPGEMM_SCALE=${MSPGEMM_SCALE:-1.0}
+export MSPGEMM_BUDGET_MS=${MSPGEMM_BUDGET_MS:-400}
+mkdir -p results
+for exp in table1 fig1 fig11 fig10 fig13 fig14 scaling; do
+  echo "=== $exp ==="
+  cargo run --release -q -p mspgemm-bench --bin $exp 2>results/$exp.log | tee results/$exp.txt
+done
+echo "=== fig12_tuner ==="
+cargo run --release -q -p mspgemm-bench --bin fig12_tuner 2>results/fig12.log | tee results/fig12_tuner.txt
+echo "all experiments complete"

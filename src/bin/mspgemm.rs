@@ -1,0 +1,237 @@
+//! `mspgemm` — command-line front end for the masked-SpGEMM library.
+//!
+//! ```text
+//! mspgemm tc       --graph com-Orkut --scale 0.3          triangle count
+//! mspgemm run      --mtx path.mtx --tiles 2048 --acc hash32 --kappa 1.0
+//! mspgemm tune     --graph circuit5M --scale 0.3           Fig. 12 flow
+//! mspgemm predict  --graph GAP-road --scale 0.3            model-based config
+//! mspgemm stats    --mtx path.mtx                          structure report
+//! ```
+//!
+//! Graphs come either from `--mtx <file>` (Matrix Market; symmetrised and
+//! booleanised) or `--graph <name>` (a synthetic Table I stand-in from
+//! `mspgemm-gen`, sized by `--scale`).
+
+use masked_spgemm_repro::prelude::*;
+use mspgemm_sparse::stats::MatrixStats;
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mspgemm <tc|run|tune|predict|stats> [options]\n\
+         \n\
+         input (one of):\n\
+           --mtx <file>        Matrix Market file (symmetrised, boolean)\n\
+           --graph <name>      synthetic suite graph (see `mspgemm list`)\n\
+           --scale <f>         synthetic graph scale (default 0.3)\n\
+         \n\
+         kernel options (run/tc):\n\
+           --threads <n>       worker threads (default: all cores)\n\
+           --tiles <n>         tile count (default 2048)\n\
+           --tiling <balanced|uniform>\n\
+           --schedule <static|dynamic|guided>\n\
+           --acc <dense|hash><8|16|32|64> | sort   (default hash32)\n\
+           --iter <vanilla|mask|coiter|hybrid>     (default hybrid)\n\
+           --kappa <f>         co-iteration factor (default 1.0)\n\
+           --bands <n>         2-D tiling column bands (default 1)\n\
+           --reps <n>          timing repetitions (default 3)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if i + 1 >= args.len() {
+                eprintln!("missing value for --{name}");
+                usage();
+            }
+            flags.insert(name.to_string(), args[i + 1].clone());
+            i += 2;
+        } else {
+            eprintln!("unexpected argument {a:?}");
+            usage();
+        }
+    }
+    flags
+}
+
+fn load_graph(flags: &HashMap<String, String>) -> Csr<u64> {
+    if let Some(path) = flags.get("mtx") {
+        let raw = masked_spgemm_repro::sparse::io::read_matrix_market(path)
+            .unwrap_or_else(|e| {
+                eprintln!("failed to read {path}: {e}");
+                std::process::exit(1);
+            });
+        masked_spgemm_repro::gen::symmetrize_boolean(&raw).spones(1u64)
+    } else if let Some(name) = flags.get("graph") {
+        let scale: f64 = flags.get("scale").map(|s| s.parse().expect("bad --scale")).unwrap_or(0.3);
+        let spec = suite_specs()
+            .into_iter()
+            .find(|s| s.name.eq_ignore_ascii_case(name))
+            .unwrap_or_else(|| {
+                eprintln!("unknown graph {name:?}; available:");
+                for s in suite_specs() {
+                    eprintln!("  {} ({})", s.name, s.kind.letter());
+                }
+                std::process::exit(1);
+            });
+        suite_graph(&spec, scale).spones(1u64)
+    } else {
+        eprintln!("need --mtx or --graph");
+        usage();
+    }
+}
+
+fn parse_config(flags: &HashMap<String, String>) -> Config {
+    let mut cfg = Config::default();
+    if let Some(t) = flags.get("threads") {
+        cfg.n_threads = t.parse().expect("bad --threads");
+    }
+    if let Some(t) = flags.get("tiles") {
+        cfg.n_tiles = t.parse().expect("bad --tiles");
+    }
+    if let Some(t) = flags.get("tiling") {
+        cfg.tiling = match t.as_str() {
+            "balanced" => TilingStrategy::FlopBalanced,
+            "uniform" => TilingStrategy::Uniform,
+            other => {
+                eprintln!("bad --tiling {other:?}");
+                usage();
+            }
+        };
+    }
+    if let Some(s) = flags.get("schedule") {
+        cfg.schedule = match s.as_str() {
+            "static" => Schedule::Static,
+            "dynamic" => Schedule::Dynamic { chunk: 1 },
+            "guided" => Schedule::Guided { chunk: 1 },
+            other => {
+                eprintln!("bad --schedule {other:?}");
+                usage();
+            }
+        };
+    }
+    if let Some(a) = flags.get("acc") {
+        cfg.accumulator = match a.as_str() {
+            "dense8" => AccumulatorKind::Dense(MarkerWidth::W8),
+            "dense16" => AccumulatorKind::Dense(MarkerWidth::W16),
+            "dense32" => AccumulatorKind::Dense(MarkerWidth::W32),
+            "dense64" => AccumulatorKind::Dense(MarkerWidth::W64),
+            "hash8" => AccumulatorKind::Hash(MarkerWidth::W8),
+            "hash16" => AccumulatorKind::Hash(MarkerWidth::W16),
+            "hash32" => AccumulatorKind::Hash(MarkerWidth::W32),
+            "hash64" => AccumulatorKind::Hash(MarkerWidth::W64),
+            "sort" => AccumulatorKind::Sort,
+            other => {
+                eprintln!("bad --acc {other:?}");
+                usage();
+            }
+        };
+    }
+    let kappa: f64 = flags.get("kappa").map(|k| k.parse().expect("bad --kappa")).unwrap_or(1.0);
+    if let Some(it) = flags.get("iter") {
+        cfg.iteration = match it.as_str() {
+            "vanilla" => IterationSpace::Vanilla,
+            "mask" => IterationSpace::MaskAccumulate,
+            "coiter" => IterationSpace::CoIterate,
+            "hybrid" => IterationSpace::Hybrid { kappa },
+            other => {
+                eprintln!("bad --iter {other:?}");
+                usage();
+            }
+        };
+    } else {
+        cfg.iteration = IterationSpace::Hybrid { kappa };
+    }
+    cfg
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    if cmd == "list" {
+        for s in suite_specs() {
+            println!("{} ({})", s.name, s.kind.letter());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let flags = parse_flags(&args[1..]);
+
+    match cmd.as_str() {
+        "stats" => {
+            let a = load_graph(&flags);
+            println!("{}", MatrixStats::compute(&a));
+        }
+        "tc" => {
+            let a = load_graph(&flags);
+            let cfg = parse_config(&flags);
+            let t0 = Instant::now();
+            let t = count_triangles(&a, &cfg).unwrap();
+            println!("triangles: {t}  ({:.1} ms)", t0.elapsed().as_secs_f64() * 1e3);
+        }
+        "run" => {
+            let a = load_graph(&flags);
+            let cfg = parse_config(&flags);
+            let bands: usize =
+                flags.get("bands").map(|b| b.parse().expect("bad --bands")).unwrap_or(1);
+            let reps: usize =
+                flags.get("reps").map(|r| r.parse().expect("bad --reps")).unwrap_or(3);
+            println!("config: {} | bands {bands}", cfg.label());
+            for rep in 0..reps {
+                if bands > 1 {
+                    let t0 = Instant::now();
+                    let c = masked_spgemm_2d::<PlusPair>(&a, &a, &a, &cfg, bands).unwrap();
+                    println!(
+                        "rep {rep}: {:.2} ms, output nnz {}",
+                        t0.elapsed().as_secs_f64() * 1e3,
+                        c.nnz()
+                    );
+                } else {
+                    let (c, stats) =
+                        masked_spgemm_with_stats::<PlusPair>(&a, &a, &a, &cfg).unwrap();
+                    println!(
+                        "rep {rep}: {:.2} ms kernel (+{:.2} ms setup), output nnz {}, imbalance {:.2}",
+                        stats.elapsed.as_secs_f64() * 1e3,
+                        stats.setup.as_secs_f64() * 1e3,
+                        c.nnz(),
+                        stats.imbalance()
+                    );
+                }
+            }
+        }
+        "tune" => {
+            let a = load_graph(&flags);
+            let opts = TunerOptions::default();
+            let report = tune::<PlusPair>(&a, &a, &a, &opts);
+            println!("stage 1: {} configs measured", report.stage1.len());
+            println!("stage 2: {} κ values measured", report.stage2.len());
+            println!("stage 3: {} marker widths measured", report.stage3.len());
+            println!(
+                "tuned: {}  ({:.2} ms)",
+                report.best.label(),
+                report.best_time.as_secs_f64() * 1e3
+            );
+        }
+        "predict" => {
+            let a = load_graph(&flags);
+            let p = predict_config::<PlusPair>(&a, &a, &a, 0);
+            println!("predicted: {}", p.config.label());
+            for r in &p.reasons {
+                println!("  - {r}");
+            }
+            let (_, stats) = masked_spgemm_with_stats::<PlusPair>(&a, &a, &a, &p.config).unwrap();
+            println!("measured: {:.2} ms", stats.elapsed.as_secs_f64() * 1e3);
+        }
+        other => {
+            eprintln!("unknown command {other:?}");
+            usage();
+        }
+    }
+    ExitCode::SUCCESS
+}
