@@ -5,13 +5,19 @@
 //! observable state (`written`, `gather`) must agree. This catches epoch
 //! aliasing, probe-chain, and reset bugs that fixed unit tests miss —
 //! exactly the state machines §III-C of the paper is about.
+//!
+//! Runs under the in-tree `mspgemm_rt::testkit` harness with the same case
+//! count the former proptest config used (48 per property).
 
 use mspgemm_accum::{
     Accumulator, DenseAccumulator, DenseExplicitReset, HashAccumulator, SortAccumulator,
 };
+use mspgemm_rt::rng::Rng;
+use mspgemm_rt::testkit::{check, vec_of, Strategy, TestRng};
 use mspgemm_sparse::{Idx, PlusTimes};
-use proptest::prelude::*;
 use std::collections::HashMap;
+
+const CASES: usize = 48;
 
 /// One step of an accumulator workout.
 #[derive(Clone, Debug)]
@@ -25,15 +31,61 @@ enum Op {
 
 const NCOLS: usize = 48;
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    let col = 0..NCOLS as Idx;
-    prop_oneof![
-        1 => Just(Op::BeginRow),
-        3 => col.clone().prop_map(Op::SetMask),
-        4 => (col.clone(), 1..10i32, 1..10i32).prop_map(|(j, a, b)| Op::AccMasked(j, a, b)),
-        3 => (col.clone(), 1..10i32, 1..10i32).prop_map(|(j, a, b)| Op::AccAny(j, a, b)),
-        3 => col.prop_map(Op::CheckWritten),
-    ]
+/// Weighted generator of [`Op`] — same weights the proptest `prop_oneof!`
+/// used (1 : 3 : 4 : 3 : 3).
+#[derive(Clone, Copy, Debug)]
+struct OpStrategy;
+
+impl Strategy for OpStrategy {
+    type Value = Op;
+
+    fn generate(&self, rng: &mut TestRng) -> Op {
+        let col = |rng: &mut TestRng| rng.gen_range(0..NCOLS as u32) as Idx;
+        let val = |rng: &mut TestRng| rng.gen_range(1..10i32);
+        match rng.gen_range(0..14u32) {
+            0 => Op::BeginRow,
+            1..=3 => Op::SetMask(col(rng)),
+            4..=7 => {
+                let j = col(rng);
+                let (a, b) = (val(rng), val(rng));
+                Op::AccMasked(j, a, b)
+            }
+            8..=10 => {
+                let j = col(rng);
+                let (a, b) = (val(rng), val(rng));
+                Op::AccAny(j, a, b)
+            }
+            _ => Op::CheckWritten(col(rng)),
+        }
+    }
+
+    fn shrink(&self, op: &Op) -> Vec<Op> {
+        // shrink column/value payloads toward their minima; the containing
+        // vec strategy handles dropping whole ops
+        match *op {
+            Op::BeginRow => Vec::new(),
+            Op::SetMask(j) => (0..NCOLS as Idx).shrink(&j).into_iter().map(Op::SetMask).collect(),
+            Op::AccMasked(j, a, b) => shrink_payload(j, a, b)
+                .into_iter()
+                .map(|(j, a, b)| Op::AccMasked(j, a, b))
+                .collect(),
+            Op::AccAny(j, a, b) => shrink_payload(j, a, b)
+                .into_iter()
+                .map(|(j, a, b)| Op::AccAny(j, a, b))
+                .collect(),
+            Op::CheckWritten(j) => {
+                (0..NCOLS as Idx).shrink(&j).into_iter().map(Op::CheckWritten).collect()
+            }
+        }
+    }
+}
+
+fn shrink_payload(j: Idx, a: i32, b: i32) -> Vec<(Idx, i32, i32)> {
+    let mut out: Vec<(Idx, i32, i32)> =
+        (0..NCOLS as Idx).shrink(&j).into_iter().map(|j2| (j2, a, b)).collect();
+    out.extend((1..10i32).shrink(&a).into_iter().map(|a2| (j, a2, b)));
+    out.extend((1..10i32).shrink(&b).into_iter().map(|b2| (j, a, b2)));
+    out
 }
 
 /// Reference model of the Accumulator protocol for one row.
@@ -114,53 +166,62 @@ fn run_workout<A: Accumulator<PlusTimes>>(mut acc: A, ops: &[Op], rows: usize) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn dense_u32_matches_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+#[test]
+fn dense_u32_matches_model() {
+    check("dense_u32_matches_model", CASES, vec_of(OpStrategy, 1..60), |ops| {
         run_workout(DenseAccumulator::<PlusTimes, u32>::new(NCOLS), &ops, 4);
-    }
+    });
+}
 
-    #[test]
-    fn dense_u8_matches_model_across_overflows(ops in proptest::collection::vec(arb_op(), 1..40)) {
-        // 200 rows forces several u8 epoch overflows mid-sequence
+#[test]
+fn dense_u8_matches_model_across_overflows() {
+    // 200 rows forces several u8 epoch overflows mid-sequence
+    check("dense_u8_matches_model_across_overflows", CASES, vec_of(OpStrategy, 1..40), |ops| {
         run_workout(DenseAccumulator::<PlusTimes, u8>::new(NCOLS), &ops, 200);
-    }
+    });
+}
 
-    #[test]
-    fn hash_u32_matches_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+#[test]
+fn hash_u32_matches_model() {
+    check("hash_u32_matches_model", CASES, vec_of(OpStrategy, 1..60), |ops| {
         run_workout(HashAccumulator::<PlusTimes, u32>::with_row_capacity(NCOLS), &ops, 4);
-    }
+    });
+}
 
-    #[test]
-    fn hash_u8_matches_model_across_overflows(ops in proptest::collection::vec(arb_op(), 1..40)) {
+#[test]
+fn hash_u8_matches_model_across_overflows() {
+    check("hash_u8_matches_model_across_overflows", CASES, vec_of(OpStrategy, 1..40), |ops| {
         run_workout(HashAccumulator::<PlusTimes, u8>::with_row_capacity(NCOLS), &ops, 200);
-    }
+    });
+}
 
-    #[test]
-    fn explicit_reset_matches_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+#[test]
+fn explicit_reset_matches_model() {
+    check("explicit_reset_matches_model", CASES, vec_of(OpStrategy, 1..60), |ops| {
         run_workout(DenseExplicitReset::<PlusTimes>::new(NCOLS), &ops, 4);
-    }
+    });
 }
 
 // The sort accumulator's `set_mask`-after-write has append semantics, not
 // downgrade semantics, so it is exercised with the kernel-shaped protocol
 // only (mask fully loaded before any update — what the kernels actually do).
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn sort_matches_model_under_kernel_protocol(
-        mask in proptest::collection::btree_set(0..NCOLS as Idx, 0..24),
-        updates in proptest::collection::vec((0..NCOLS as Idx, 1..10i32, 1..10i32), 0..80),
-    ) {
+#[test]
+fn sort_matches_model_under_kernel_protocol() {
+    let s = (
+        vec_of(0..NCOLS as Idx, 0..24),
+        vec_of((0..NCOLS as Idx, 1..10i32, 1..10i32), 0..80),
+    );
+    check("sort_matches_model_under_kernel_protocol", CASES, s, |(mask_raw, updates)| {
+        // the former proptest strategy drew a btree_set; dedup + sort gives
+        // the same shape of mask
+        let mut mask_cols: Vec<Idx> = mask_raw.clone();
+        mask_cols.sort_unstable();
+        mask_cols.dedup();
         let mut acc = SortAccumulator::<PlusTimes>::default();
         let mut model = Model::default();
         for _ in 0..3 {
             acc.begin_row();
             model.begin_row();
-            let mask_cols: Vec<Idx> = mask.iter().copied().collect();
             for &j in &mask_cols {
                 acc.set_mask(j);
                 model.set_mask(j);
@@ -168,13 +229,13 @@ proptest! {
             for &(j, a, b) in &updates {
                 let got = acc.accumulate_masked(j, a as f64, b as f64);
                 let want = model.acc_masked(j, a as f64, b as f64);
-                prop_assert_eq!(got, want);
+                assert_eq!(got, want);
             }
             let mut cols = Vec::new();
             let mut vals = Vec::new();
             acc.gather(&mask_cols, &mut cols, &mut vals);
             let got: Vec<(Idx, f64)> = cols.into_iter().zip(vals).collect();
-            prop_assert_eq!(got, model.gather(&mask_cols));
+            assert_eq!(got, model.gather(&mask_cols));
         }
-    }
+    });
 }

@@ -7,7 +7,8 @@
 //! 3. **co-iteration factor κ at the extremes** — what pure push (κ=0)
 //!    and pure pull (κ=∞) cost relative to the hybrid.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mspgemm_bench::micro::{BenchmarkId, Micro};
+use mspgemm_bench::{micro_group, micro_main};
 use mspgemm_accum::{Accumulator, DenseAccumulator, DenseExplicitReset};
 use mspgemm_core::kernels::row_mask_accumulate;
 use mspgemm_core::{masked_spgemm, Config, IterationSpace};
@@ -23,7 +24,7 @@ fn graph(name: &str) -> Csr<u64> {
     suite_graph(&spec, SCALE).spones(1u64)
 }
 
-fn bench_fused_vs_two_step(c: &mut Criterion) {
+fn bench_fused_vs_two_step(c: &mut Micro) {
     let mut group = c.benchmark_group("fused_vs_two_step");
     group
         .sample_size(10)
@@ -42,7 +43,7 @@ fn bench_fused_vs_two_step(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_reset_policy(c: &mut Criterion) {
+fn bench_reset_policy(c: &mut Micro) {
     // run the Fig. 5 kernel serially over all rows with the two dense
     // accumulator reset policies; the kernel code is identical, only the
     // accumulator differs — a pure reset-policy ablation
@@ -78,7 +79,7 @@ fn bench_reset_policy(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_kappa_extremes(c: &mut Criterion) {
+fn bench_kappa_extremes(c: &mut Micro) {
     let a = graph("circuit5M");
     let mut group = c.benchmark_group("kappa_extremes_circuit");
     group
@@ -99,7 +100,7 @@ fn bench_kappa_extremes(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_2d_tiling(c: &mut Criterion) {
+fn bench_2d_tiling(c: &mut Micro) {
     // com-Orkut: the widest working set of the suite — where column
     // banding has a chance to pay (see driver2d's module docs)
     let a = graph("com-Orkut");
@@ -117,7 +118,7 @@ fn bench_2d_tiling(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_sort_accumulator_outsider(c: &mut Criterion) {
+fn bench_sort_accumulator_outsider(c: &mut Micro) {
     // why the paper's sweep is dense/hash only: the sort accumulator on a
     // short-row graph (its best case) vs the same graph on hash
     let a = graph("GAP-road");
@@ -138,7 +139,7 @@ fn bench_sort_accumulator_outsider(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_reordering(c: &mut Criterion) {
+fn bench_reordering(c: &mut Micro) {
     // the paper's §V-A: "we did not perform any pre-processing of the
     // data like partitioning the graphs, or reorganizing the data. For
     // future work..." — quantify what that future work is worth on a
@@ -164,7 +165,7 @@ fn bench_reordering(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_dot_vs_saxpy(c: &mut Criterion) {
+fn bench_dot_vs_saxpy(c: &mut Micro) {
     // the higher-level algorithm axis (Milaković et al., paper §VI-B):
     // output-driven dot products vs row-wise saxpy. With M = A (triangle
     // counting) the mask is as dense as A and saxpy should win — the
@@ -191,7 +192,7 @@ fn bench_dot_vs_saxpy(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
+micro_group!(
     benches,
     bench_fused_vs_two_step,
     bench_reset_policy,
@@ -201,4 +202,4 @@ criterion_group!(
     bench_reordering,
     bench_dot_vs_saxpy
 );
-criterion_main!(benches);
+micro_main!(benches);

@@ -1,9 +1,10 @@
-//! Criterion micro-benchmarks: accumulator family × marker width
+//! Micro-benchmarks (in-tree harness): accumulator family × marker width
 //! (§III-C, Fig. 13), on the two classes where the paper finds the
 //! families diverge most — social (hash-friendly, wide rows) and road
 //! (dense-friendly, local writes).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mspgemm_bench::micro::{BenchmarkId, Micro};
+use mspgemm_bench::{micro_group, micro_main};
 use mspgemm_accum::AccumulatorKind;
 use mspgemm_core::{masked_spgemm, Config, IterationSpace};
 use mspgemm_gen::{suite_graph, suite_specs};
@@ -17,7 +18,7 @@ fn graph(name: &str) -> Csr<u64> {
     suite_graph(&spec, SCALE).spones(1u64)
 }
 
-fn bench_accumulators(c: &mut Criterion) {
+fn bench_accumulators(c: &mut Micro) {
     let mut group = c.benchmark_group("accumulator");
     group
         .sample_size(10)
@@ -47,7 +48,7 @@ fn bench_accumulators(c: &mut Criterion) {
 /// Raw accumulator state-machine costs, no matrices: mask load + masked
 /// update + gather per row over synthetic columns. Isolates the Fig. 13
 /// marker-width effect from kernel traffic.
-fn bench_accumulator_primitives(c: &mut Criterion) {
+fn bench_accumulator_primitives(c: &mut Micro) {
     use mspgemm_accum::{Accumulator, DenseAccumulator, HashAccumulator};
     use mspgemm_sparse::PlusTimes;
 
@@ -94,5 +95,5 @@ fn bench_accumulator_primitives(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_accumulators, bench_accumulator_primitives);
-criterion_main!(benches);
+micro_group!(benches, bench_accumulators, bench_accumulator_primitives);
+micro_main!(benches);

@@ -1,11 +1,12 @@
-//! Criterion micro-benchmarks: the four iteration spaces (§III-B,
+//! Micro-benchmarks (in-tree harness): the four iteration spaces (§III-B,
 //! Figs. 3/5/7/9) on one representative graph per structural class.
 //!
 //! Complements the `fig14` binary: where fig14 sweeps κ at full scale with
 //! the paper's timing protocol, this bench gives statistically-rigorous
-//! per-kernel comparisons at a scale Criterion can iterate quickly.
+//! per-kernel comparisons at a scale the harness can iterate quickly.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mspgemm_bench::micro::{BenchmarkId, Micro};
+use mspgemm_bench::{micro_group, micro_main};
 use mspgemm_core::{masked_spgemm, Config, IterationSpace};
 use mspgemm_gen::{suite_graph, suite_specs};
 use mspgemm_sparse::{Csr, PlusPair};
@@ -22,7 +23,7 @@ fn graphs() -> Vec<(String, Csr<u64>)> {
         .collect()
 }
 
-fn bench_iteration_spaces(c: &mut Criterion) {
+fn bench_iteration_spaces(c: &mut Micro) {
     let mut group = c.benchmark_group("iteration_space");
     group
         .sample_size(10)
@@ -54,5 +55,5 @@ fn bench_iteration_spaces(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_iteration_spaces);
-criterion_main!(benches);
+micro_group!(benches, bench_iteration_spaces);
+micro_main!(benches);

@@ -1,9 +1,10 @@
-//! Criterion micro-benchmarks: tiling strategy × schedule × tile count
+//! Micro-benchmarks (in-tree harness): tiling strategy × schedule × tile count
 //! (§III-A, Figs. 10/11), plus the cost of the tiling machinery itself
 //! (work estimation and tile construction — the `O(nnz(A))` prologue the
 //! paper argues is cheap enough to always run).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mspgemm_bench::micro::{BenchmarkId, Micro};
+use mspgemm_bench::{micro_group, micro_main};
 use mspgemm_core::{masked_spgemm, Config, IterationSpace};
 use mspgemm_gen::{suite_graph, suite_specs};
 use mspgemm_sched::{balanced_tiles, row_work, uniform_tiles, Schedule, TilingStrategy};
@@ -17,7 +18,7 @@ fn graph(name: &str) -> Csr<u64> {
     suite_graph(&spec, SCALE).spones(1u64)
 }
 
-fn bench_tiling_sweep(c: &mut Criterion) {
+fn bench_tiling_sweep(c: &mut Micro) {
     // hollywood: the socially-skewed case where tiling choices matter most
     let a = graph("hollywood-2009");
     let mut group = c.benchmark_group("tiling");
@@ -45,7 +46,7 @@ fn bench_tiling_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_tiling_prologue(c: &mut Criterion) {
+fn bench_tiling_prologue(c: &mut Micro) {
     let a = graph("com-Orkut");
     let work = row_work(&a, &a, &a);
     let mut group = c.benchmark_group("tiling_prologue");
@@ -65,5 +66,5 @@ fn bench_tiling_prologue(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tiling_sweep, bench_tiling_prologue);
-criterion_main!(benches);
+micro_group!(benches, bench_tiling_sweep, bench_tiling_prologue);
+micro_main!(benches);

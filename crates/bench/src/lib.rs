@@ -22,6 +22,8 @@
 //! | `MSPGEMM_BUDGET_MS` | per-config time budget | `300` |
 //! | `MSPGEMM_MAX_ITERS` | per-config iteration cap | `10000` |
 
+pub mod micro;
+
 use mspgemm_core::{masked_spgemm_with_stats, Config};
 use mspgemm_gen::{suite_graph, suite_specs, SuiteSpec};
 use mspgemm_sparse::{Csr, PlusPair};

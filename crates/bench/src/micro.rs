@@ -1,0 +1,301 @@
+//! In-tree micro-benchmark harness — the replacement for `criterion` in
+//! `benches/*.rs`.
+//!
+//! Keeps the shape the bench files already had (groups, per-group sample
+//! counts and time budgets, `bench_with_input` with a display-formatted
+//! id) but with a deliberately simple protocol: one timed warm-up that
+//! doubles as calibration, then `sample_size` samples of equal iteration
+//! count, reporting min / mean / stddev per benchmark. No plots, no
+//! statistics beyond what a regression eyeball needs — for the paper's
+//! tables the `src/bin` sweeps with [`crate::measure`] remain the source
+//! of truth.
+//!
+//! A bench target is declared with `harness = false` and:
+//!
+//! ```ignore
+//! fn bench_something(c: &mut Micro) {
+//!     let mut group = c.benchmark_group("something");
+//!     group.sample_size(10).measurement_time(Duration::from_millis(900));
+//!     group.bench_function("fast_path", |b| b.iter(|| work()));
+//!     group.finish();
+//! }
+//! micro_group!(benches, bench_something);
+//! micro_main!(benches);
+//! ```
+//!
+//! A substring argument filters benchmarks (`cargo bench -p mspgemm-bench
+//! --bench kernels -- road` runs only ids containing "road").
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle (the `c: &mut Micro` the bench functions take).
+pub struct Micro {
+    filter: Option<String>,
+    /// (id, stats) for every benchmark run, in execution order.
+    results: Vec<(String, MicroStats)>,
+}
+
+/// Timing summary of one benchmark.
+#[derive(Clone, Debug)]
+pub struct MicroStats {
+    /// Mean time per iteration across samples.
+    pub mean: Duration,
+    /// Fastest sample (per-iteration).
+    pub min: Duration,
+    /// Population standard deviation across samples (per-iteration).
+    pub stddev: Duration,
+    /// Samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: usize,
+}
+
+impl Micro {
+    /// Build from `std::env::args`: the first non-flag argument is a
+    /// substring filter on benchmark ids (cargo's own flags like
+    /// `--bench` are ignored).
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Micro { filter, results: Vec::new() }
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> MicroGroup<'_> {
+        MicroGroup {
+            harness: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_millis(500),
+        }
+    }
+
+    fn run_one<F>(&mut self, id: String, cfg: (usize, Duration, Duration), mut routine: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(f) = &self.filter {
+            if !id.contains(f.as_str()) {
+                return;
+            }
+        }
+        let (sample_size, warm_up, measurement) = cfg;
+        let mut bencher = Bencher { sample_size, warm_up, measurement, stats: None };
+        routine(&mut bencher);
+        let stats = bencher.stats.expect("benchmark routine must call Bencher::iter");
+        println!(
+            "{id:<56} mean {:>12} ± {:<10} min {:>12}   ({} × {})",
+            fmt_duration(stats.mean),
+            fmt_duration(stats.stddev),
+            fmt_duration(stats.min),
+            stats.samples,
+            stats.iters_per_sample,
+        );
+        self.results.push((id, stats));
+    }
+
+    /// All results collected so far.
+    pub fn results(&self) -> &[(String, MicroStats)] {
+        &self.results
+    }
+}
+
+/// A group of related benchmarks sharing sample/time settings.
+pub struct MicroGroup<'a> {
+    harness: &'a mut Micro,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl MicroGroup<'_> {
+    /// Samples per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Warm-up/calibration budget before sampling (default 200 ms).
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total measurement budget, split across samples (default 500 ms).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Benchmark a routine against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut routine: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        let cfg = (self.sample_size, self.warm_up, self.measurement);
+        self.harness.run_one(full, cfg, |b| routine(b, input));
+    }
+
+    /// Benchmark a plain routine.
+    pub fn bench_function<F>(&mut self, label: impl Display, routine: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, label);
+        let cfg = (self.sample_size, self.warm_up, self.measurement);
+        self.harness.run_one(full, cfg, routine);
+    }
+
+    /// End the group (kept for criterion-shaped call sites; drop suffices).
+    pub fn finish(self) {}
+}
+
+/// A `label/parameter` benchmark id.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Format `label/parameter`.
+    pub fn new(label: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{label}/{parameter}"))
+    }
+}
+
+/// Passed to the routine; [`Bencher::iter`] times the closure.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    stats: Option<MicroStats>,
+}
+
+impl Bencher {
+    /// Time `f`: warm up (and calibrate the per-sample iteration count)
+    /// for the warm-up budget, then take `sample_size` equal-sized samples
+    /// within the measurement budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // warm-up doubles as calibration
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed() / warm_iters as u32;
+        let per_sample = self.measurement / self.sample_size as u32;
+        let iters = if per_iter.is_zero() {
+            1024
+        } else {
+            (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as usize
+        };
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(t0.elapsed().as_secs_f64() / iters as f64);
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        self.stats = Some(MicroStats {
+            mean: Duration::from_secs_f64(mean),
+            min: Duration::from_secs_f64(min),
+            stddev: Duration::from_secs_f64(var.sqrt()),
+            samples: self.sample_size,
+            iters_per_sample: iters,
+        });
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Bundle bench functions into one registration function (criterion's
+/// `criterion_group!` analogue).
+#[macro_export]
+macro_rules! micro_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::micro::Micro) {
+            $($function(c);)+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! micro_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut harness = $crate::micro::Micro::from_args();
+            $($group(&mut harness);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_produces_sane_stats() {
+        let mut b = Bencher {
+            sample_size: 5,
+            warm_up: Duration::from_millis(5),
+            measurement: Duration::from_millis(20),
+            stats: None,
+        };
+        b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()));
+        let s = b.stats.expect("stats recorded");
+        assert_eq!(s.samples, 5);
+        assert!(s.iters_per_sample >= 1);
+        assert!(s.min <= s.mean);
+        assert!(s.mean > Duration::ZERO);
+    }
+
+    #[test]
+    fn groups_run_and_filter() {
+        let mut m = Micro { filter: Some("keep".into()), results: Vec::new() };
+        let mut g = m.benchmark_group("g");
+        g.sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4));
+        g.bench_function("keep_me", |b| b.iter(|| 1 + 1));
+        g.bench_function("skip_me", |b| b.iter(|| 1 + 1));
+        g.finish();
+        assert_eq!(m.results().len(), 1);
+        assert_eq!(m.results()[0].0, "g/keep_me");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("label", 42).0, "label/42");
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert!(fmt_duration(Duration::from_nanos(500)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(500)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(500)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(20)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,25 @@
+use mspgemm_gen::*;
+
+fn fnv(coo_triples: impl Iterator<Item = (usize, u32, u64)>) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    let mut step = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    for (i, j, v) in coo_triples {
+        step(i as u64);
+        step(j as u64);
+        step(v);
+    }
+    h
+}
+
+fn main() {
+    for spec in suite_specs() {
+        let g = suite_graph(&spec, 0.05);
+        let f = fnv(g.iter().map(|(i, j, v)| (i, j, v.to_bits())));
+        println!("{}: nnz={} fingerprint=0x{:016x}", spec.name, g.nnz(), f);
+    }
+}

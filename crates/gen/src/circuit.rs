@@ -14,8 +14,7 @@
 //! pattern.
 
 use mspgemm_sparse::{Coo, Csr};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use mspgemm_rt::rng::{ChaCha8Rng, Rng};
 
 /// Parameters for the circuit-matrix generator.
 #[derive(Clone, Copy, Debug, PartialEq)]

@@ -5,8 +5,7 @@
 //! with "structureless" input) and as a neutral point in ablation benches.
 
 use mspgemm_sparse::{Coo, Csr};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use mspgemm_rt::rng::{ChaCha8Rng, Rng};
 
 /// Generate a symmetric `G(n, m)` adjacency matrix: `m` undirected edges
 /// chosen uniformly (with rejection of self-loops; duplicate edges merge, so

@@ -9,8 +9,7 @@
 //! that class.
 
 use mspgemm_sparse::{Coo, Csr};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use mspgemm_rt::rng::{ChaCha8Rng, Rng};
 
 /// R-MAT quadrant probabilities. Must sum to ≤ 1; `d = 1 - a - b - c`.
 #[derive(Clone, Copy, Debug, PartialEq)]

@@ -15,8 +15,7 @@
 //! geographically-sorted ordering of the real datasets.
 
 use mspgemm_sparse::{Coo, Csr};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use mspgemm_rt::rng::{ChaCha8Rng, Rng};
 
 /// Parameters for the road-network generator.
 #[derive(Clone, Copy, Debug, PartialEq)]

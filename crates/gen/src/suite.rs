@@ -151,6 +151,47 @@ mod tests {
     const TEST_SCALE: f64 = 0.05;
 
     #[test]
+    fn suite_graph_streams_are_pinned() {
+        // FNV-1a over the COO triples of every suite graph at scale 0.05.
+        // These values pin the full generator pipeline on top of the
+        // in-tree ChaCha8 stream (rng::SEED42_FIRST8 pins the raw PRNG);
+        // any change to either shows up here. Regenerate with
+        // `cargo run -p mspgemm-gen --example fingerprint` and record an
+        // intentional change in EXPERIMENTS.md — it invalidates every
+        // generated-graph-dependent result.
+        const PINNED: [(&str, usize, u64); 10] = [
+            ("arabic-2005", 33588, 0x9adf5e8bfd3094c5),
+            ("as-Skitter", 7002, 0x05bb1469b8f945d9),
+            ("circuit5M", 11132, 0x019419861ac74281),
+            ("com-LiveJournal", 13242, 0xaaf946a43d78102d),
+            ("com-Orkut", 28722, 0x9f1c43225f4ed919),
+            ("europe_osm", 9372, 0xe506da7150a552b9),
+            ("GAP-road", 4236, 0xbcd0ad9370be3f75),
+            ("hollywood-2009", 15650, 0xa43f3415f0abc1e9),
+            ("stokes", 22582, 0xdc6c9dd41dd25681),
+            ("uk-2002", 23610, 0xde06cf8554a16845),
+        ];
+        for (spec, &(name, nnz, want)) in suite_specs().iter().zip(PINNED.iter()) {
+            assert_eq!(spec.name, name);
+            let g = suite_graph(spec, TEST_SCALE);
+            let mut h = 0xcbf29ce484222325u64;
+            let mut step = |x: u64| {
+                for b in x.to_le_bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x100000001b3);
+                }
+            };
+            for (i, j, v) in g.iter() {
+                step(i as u64);
+                step(j as u64);
+                step(v.to_bits());
+            }
+            assert_eq!(g.nnz(), nnz, "{name}: nnz drifted");
+            assert_eq!(h, want, "{name}: generator stream drifted");
+        }
+    }
+
+    #[test]
     fn all_ten_specs_present_in_paper_order() {
         let specs = suite_specs();
         assert_eq!(specs.len(), 10);

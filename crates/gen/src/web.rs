@@ -16,8 +16,7 @@
 //! attachment — producing in-degree hubs.
 
 use mspgemm_sparse::{Coo, Csr};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use mspgemm_rt::rng::{ChaCha8Rng, Rng};
 
 /// Parameters for the web-crawl generator.
 #[derive(Clone, Copy, Debug, PartialEq)]

@@ -12,9 +12,9 @@
 //! and as the baseline for the fused-vs-two-step ablation bench.
 
 use mspgemm_core::{masked_spgemm, Config};
+use mspgemm_rt::par;
 use mspgemm_sparse::ops::ewise_mult;
 use mspgemm_sparse::{Csr, Idx, Semiring, SparseError};
-use rayon::prelude::*;
 
 /// `GrB_mxm` analogue: masked when `mask` is `Some` (structural mask),
 /// plain SpGEMM otherwise.
@@ -57,37 +57,35 @@ pub fn spgemm_unmasked<S: Semiring>(
         });
     }
     let n = b.ncols();
-    // one row at a time, rayon over rows; each closure owns its scratch
-    let rows: Vec<(Vec<Idx>, Vec<S::T>)> = (0..a.nrows())
-        .into_par_iter()
-        .map_init(
-            || (vec![S::zero(); n], vec![false; n], Vec::<Idx>::new()),
-            |(vals, touched, order), i| {
-                let (acols, avals) = a.row(i);
-                for (&k, &av) in acols.iter().zip(avals) {
-                    let (bcols, bvals) = b.row(k as usize);
-                    for (&j, &bv) in bcols.iter().zip(bvals) {
-                        let ju = j as usize;
-                        if touched[ju] {
-                            vals[ju] = S::fma(vals[ju], av, bv);
-                        } else {
-                            touched[ju] = true;
-                            vals[ju] = S::mul(av, bv);
-                            order.push(j);
-                        }
+    // one row at a time, parallel over rows; each worker owns its scratch
+    let rows: Vec<(Vec<Idx>, Vec<S::T>)> = par::map_with(
+        a.nrows(),
+        || (vec![S::zero(); n], vec![false; n], Vec::<Idx>::new()),
+        |(vals, touched, order), i| {
+            let (acols, avals) = a.row(i);
+            for (&k, &av) in acols.iter().zip(avals) {
+                let (bcols, bvals) = b.row(k as usize);
+                for (&j, &bv) in bcols.iter().zip(bvals) {
+                    let ju = j as usize;
+                    if touched[ju] {
+                        vals[ju] = S::fma(vals[ju], av, bv);
+                    } else {
+                        touched[ju] = true;
+                        vals[ju] = S::mul(av, bv);
+                        order.push(j);
                     }
                 }
-                order.sort_unstable();
-                let out_cols: Vec<Idx> = order.clone();
-                let out_vals: Vec<S::T> = order.iter().map(|&j| vals[j as usize]).collect();
-                for &j in order.iter() {
-                    touched[j as usize] = false;
-                }
-                order.clear();
-                (out_cols, out_vals)
-            },
-        )
-        .collect();
+            }
+            order.sort_unstable();
+            let out_cols: Vec<Idx> = order.clone();
+            let out_vals: Vec<S::T> = order.iter().map(|&j| vals[j as usize]).collect();
+            for &j in order.iter() {
+                touched[j as usize] = false;
+            }
+            order.clear();
+            (out_cols, out_vals)
+        },
+    );
 
     let mut row_ptr = Vec::with_capacity(a.nrows() + 1);
     row_ptr.push(0usize);
@@ -120,30 +118,28 @@ pub fn spgemm_symbolic<TA: Copy + Sync, TB: Copy + Sync>(
         });
     }
     let n = b.ncols();
-    Ok((0..a.nrows())
-        .into_par_iter()
-        .map_init(
-            || (vec![false; n], Vec::<Idx>::new()),
-            |(touched, order), i| {
-                let (acols, _) = a.row(i);
-                for &k in acols {
-                    let (bcols, _) = b.row(k as usize);
-                    for &j in bcols {
-                        if !touched[j as usize] {
-                            touched[j as usize] = true;
-                            order.push(j);
-                        }
+    Ok(par::map_with(
+        a.nrows(),
+        || (vec![false; n], Vec::<Idx>::new()),
+        |(touched, order), i| {
+            let (acols, _) = a.row(i);
+            for &k in acols {
+                let (bcols, _) = b.row(k as usize);
+                for &j in bcols {
+                    if !touched[j as usize] {
+                        touched[j as usize] = true;
+                        order.push(j);
                     }
                 }
-                let count = order.len();
-                for &j in order.iter() {
-                    touched[j as usize] = false;
-                }
-                order.clear();
-                count
-            },
-        )
-        .collect())
+            }
+            let count = order.len();
+            for &j in order.iter() {
+                touched[j as usize] = false;
+            }
+            order.clear();
+            count
+        },
+    ))
 }
 
 /// Complemented-mask product (`GrB_DESC_C`): `C = ¬M ⊙ (A × B)` — keep

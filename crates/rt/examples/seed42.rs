@@ -1,0 +1,11 @@
+//! Prints the first 8 `next_u64` outputs for seed 42 — used once to pin
+//! `rng::SEED42_FIRST8` (the known-answer constant) from the verified core.
+
+use mspgemm_rt::rng::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    for _ in 0..8 {
+        println!("0x{:016x},", mspgemm_rt::rng::RngCore::next_u64(&mut rng));
+    }
+}

@@ -1,0 +1,22 @@
+//! `mspgemm-rt` — the zero-dependency runtime under the workspace.
+//!
+//! Three modules, each replacing an external crate so the tier-1 verify
+//! (`cargo build --release && cargo test -q --offline`) runs on a machine
+//! with no crates-io access:
+//!
+//! * [`par`] — scoped-thread parallel-for (`map`, `map_with`,
+//!   `map_reduce`, `for_each`) replacing the four `rayon::prelude` call
+//!   sites in utility passes. The *measured* kernel loop keeps using
+//!   `mspgemm-sched`'s own static/dynamic/guided pool.
+//! * [`rng`] — SplitMix64 seeding plus a ChaCha8 core that is
+//!   stream-compatible with `rand_chacha::ChaCha8Rng` +
+//!   `rand 0.8` sampling, so `crates/gen` keeps producing bit-identical
+//!   matrices for each Table I seed.
+//! * [`testkit`] — a seeded property-testing mini-harness with greedy
+//!   shrinking, replacing the three `proptest` suites.
+
+pub mod par;
+pub mod rng;
+pub mod testkit;
+
+pub use rng::{ChaCha8Rng, Rng, RngCore, SplitMix64};

@@ -1,0 +1,250 @@
+//! Parallel-for over index ranges, built on `std::thread::scope` — the
+//! replacement for the four `rayon::prelude` call sites.
+//!
+//! Rationale (see DESIGN.md): the paper's *measured* loop is scheduled by
+//! `mspgemm-sched`'s own static/dynamic/guided pool so the scheduling
+//! behaviour under measurement is exactly the one described. The remaining
+//! parallel loops — work estimation, statistics, utility SpGEMM/SpMV — were
+//! the only thing `rayon` was still doing, and its work-stealing runtime is
+//! both opaque (a hidden global pool warming caches behind the kernel's
+//! back) and a crates.io dependency. This module gives those utility passes
+//! the same shape with ~100 lines of code we own:
+//!
+//! * work is split into contiguous index chunks, claimed dynamically off an
+//!   atomic counter (good balance under skewed row costs — the dense-rail
+//!   rows of `circuit5M` land in *some* chunk, and the other threads stream
+//!   past it);
+//! * results are written by index, so output order — and, for
+//!   [`map_reduce`], the reduction tree, which folds per-chunk partials in
+//!   chunk order — is deterministic regardless of thread interleaving;
+//! * threads are scoped: no global pool, no state outlives the call.
+
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Worker-thread count for utility passes: `MSPGEMM_PAR_THREADS` if set,
+/// otherwise the machine's available parallelism.
+pub fn threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("MSPGEMM_PAR_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            })
+    })
+}
+
+/// Below this many items the spawn cost dwarfs the work; run serially.
+const SERIAL_CUTOFF: usize = 1024;
+
+/// Pointer wrapper so worker threads can write disjoint output slots.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// Split `n` items into chunks for `p` threads; each chunk is claimed as a
+/// whole, so ~8 chunks per thread keeps the tail balanced without paying a
+/// counter round-trip per item.
+fn chunk_size(n: usize, p: usize) -> usize {
+    (n / (p * 8)).clamp(1, 16_384)
+}
+
+/// `out[i] = f(i)` for `i in 0..n`, in parallel. Equivalent to
+/// `(0..n).into_par_iter().map(f).collect()`.
+pub fn map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    map_with(n, || (), move |_, i| f(i))
+}
+
+/// [`map`] with per-thread scratch state: `init()` runs once in each worker
+/// thread, and `f(&mut state, i)` computes element `i`. Equivalent to
+/// rayon's `map_init`. State is dropped with its thread; outputs are in
+/// index order.
+pub fn map_with<T, W, I, F>(n: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, usize) -> T + Sync,
+{
+    let p = threads();
+    if n == 0 {
+        return Vec::new();
+    }
+    if p <= 1 || n < SERIAL_CUTOFF {
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
+    }
+
+    let chunk = chunk_size(n, p);
+    let mut out: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+    // SAFETY: MaybeUninit<T> needs no initialisation; len == capacity == n.
+    unsafe { out.set_len(n) };
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..p.min(n.div_ceil(chunk)) {
+            let (next, init, f, out_ptr) = (&next, &init, &f, &out_ptr);
+            scope.spawn(move || {
+                let mut state = init();
+                loop {
+                    let lo = next.fetch_add(chunk, Ordering::Relaxed);
+                    if lo >= n {
+                        break;
+                    }
+                    let hi = (lo + chunk).min(n);
+                    for i in lo..hi {
+                        let v = f(&mut state, i);
+                        // SAFETY: each index is claimed by exactly one
+                        // chunk, and chunks are disjoint; writes never
+                        // alias. On panic the slot stays uninit and is
+                        // never dropped (MaybeUninit), so partially-filled
+                        // buffers only leak, which is safe.
+                        unsafe { out_ptr.0.add(i).write(MaybeUninit::new(v)) };
+                    }
+                }
+            });
+        }
+    });
+    // the scope joined every worker without panicking ⇒ all n slots written
+    // SAFETY: Vec<MaybeUninit<T>> and Vec<T> have identical layout.
+    unsafe { std::mem::transmute::<Vec<MaybeUninit<T>>, Vec<T>>(out) }
+}
+
+/// Parallel map-reduce: fold `f(i)` over `0..n` with the associative `op`,
+/// starting from `identity()`. Per-chunk partials are combined **in chunk
+/// order**, so the grouping — and thus any float result — depends only on
+/// `n` and the thread count, never on scheduling.
+pub fn map_reduce<T, F, ID, OP>(n: usize, f: F, identity: ID, op: OP) -> T
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    ID: Fn() -> T + Sync,
+    OP: Fn(T, T) -> T + Sync,
+{
+    let p = threads();
+    if p <= 1 || n < SERIAL_CUTOFF {
+        return (0..n).fold(identity(), |acc, i| op(acc, f(i)));
+    }
+    let chunk = chunk_size(n, p);
+    let n_chunks = n.div_ceil(chunk);
+    let partials: Vec<T> = map_with(n_chunks, || (), |_, c| {
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(n);
+        (lo..hi).fold(identity(), |acc, i| op(acc, f(i)))
+    });
+    partials.into_iter().fold(identity(), |acc, x| op(acc, x))
+}
+
+/// Run `f(i)` for every `i in 0..n` in parallel, for side effects.
+pub fn for_each<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let _: Vec<()> = map(n, |i| f(i));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_matches_serial() {
+        for n in [0usize, 1, 7, SERIAL_CUTOFF - 1, SERIAL_CUTOFF, 50_000] {
+            let par: Vec<u64> = map(n, |i| (i as u64).wrapping_mul(2654435761));
+            let ser: Vec<u64> = (0..n).map(|i| (i as u64).wrapping_mul(2654435761)).collect();
+            assert_eq!(par, ser, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn map_with_gives_each_thread_private_state() {
+        // state is a counter; every element must see a consistent one
+        let n = 40_000;
+        let out = map_with(
+            n,
+            || 0u64,
+            |count, i| {
+                *count += 1;
+                (i, *count)
+            },
+        );
+        assert_eq!(out.len(), n);
+        for (idx, &(i, c)) in out.iter().enumerate() {
+            assert_eq!(i, idx);
+            assert!(c >= 1);
+        }
+    }
+
+    #[test]
+    fn map_reduce_matches_serial_sum() {
+        let n = 100_000;
+        let got = map_reduce(n, |i| i as u64, || 0, |a, b| a + b);
+        assert_eq!(got, (n as u64 - 1) * n as u64 / 2);
+    }
+
+    #[test]
+    fn map_reduce_is_deterministic_for_floats() {
+        let n = 30_000;
+        let f = |i: usize| ((i as f64) * 0.1).sin();
+        let a = map_reduce(n, f, || 0.0f64, |x, y| x + y);
+        let b = map_reduce(n, f, || 0.0f64, |x, y| x + y);
+        // bitwise equality: the reduction tree is fixed
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn for_each_visits_every_index_once() {
+        let n = 20_000;
+        let counts: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        for_each(n, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn skewed_work_is_balanced() {
+        // one index 1000x more expensive; wall time should stay well under
+        // serial (smoke check only: just make sure results are right)
+        let n = 10_000;
+        let out = map(n, |i| {
+            let spins = if i == 0 { 100_000 } else { 100 };
+            let mut x = 0u64;
+            for k in 0..spins {
+                x = x.wrapping_add(k);
+            }
+            x
+        });
+        assert_eq!(out.len(), n);
+        assert_eq!(out[1], (0..100u64).sum::<u64>());
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let res = std::panic::catch_unwind(|| {
+            let _: Vec<usize> = map(SERIAL_CUTOFF * 4, |i| {
+                if i == SERIAL_CUTOFF * 2 {
+                    panic!("boom");
+                }
+                i
+            });
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn non_copy_results_are_moved_correctly() {
+        let out: Vec<String> = map(5000, |i| format!("row{i}"));
+        assert_eq!(out[4999], "row4999");
+        assert_eq!(out.len(), 5000);
+    }
+}

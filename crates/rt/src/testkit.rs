@@ -1,0 +1,530 @@
+//! A property-testing mini-harness — the in-tree replacement for the three
+//! `proptest` suites.
+//!
+//! Scope: exactly what those suites need, nothing more.
+//!
+//! * **Seeded generation** — cases are derived from one master seed via
+//!   [`SplitMix64`], so every failure is reproducible: the harness prints
+//!   the seed, and `MSPGEMM_TESTKIT_SEED` replays it.
+//! * **Configurable case count** — `MSPGEMM_TESTKIT_CASES` overrides the
+//!   per-property default (e.g. `=10000` for a soak run).
+//! * **Greedy shrinking** — when a case fails, the [`Strategy`] proposes
+//!   structurally smaller candidates; the harness re-runs them and walks to
+//!   a local minimum before reporting, so the panic message shows a small
+//!   input instead of a 120-triple matrix.
+//!
+//! Properties are plain closures using ordinary `assert!`/`assert_eq!`;
+//! the harness catches the unwind, shrinks, and re-raises with context.
+//!
+//! ```
+//! use mspgemm_rt::testkit::{check, vec_of};
+//!
+//! check("reverse-roundtrip", 64, vec_of(0..100u32, 0..=20), |v| {
+//!     let mut r = v.clone();
+//!     r.reverse();
+//!     r.reverse();
+//!     assert_eq!(r, v);
+//! });
+//! ```
+
+use crate::rng::{ChaCha8Rng, Rng, SplitMix64};
+use std::cell::Cell;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+/// RNG handed to strategies. A thin alias: strategies draw from the same
+/// ChaCha8 core the rest of the repo uses.
+pub type TestRng = ChaCha8Rng;
+
+/// A generator of random values plus a shrinker proposing smaller ones.
+///
+/// `shrink` returns candidates **in decreasing order of aggressiveness**
+/// (the harness tries them in order and greedily restarts from the first
+/// one that still fails). Returning an empty vec ends shrinking.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Clone + Debug;
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    /// Propose structurally smaller variants of a failing value.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// integer ranges
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($ty:ty) => {
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, v: &$ty) -> Vec<$ty> {
+                shrink_toward(*v, self.start)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, v: &$ty) -> Vec<$ty> {
+                shrink_toward(*v, *self.start())
+            }
+        }
+    };
+}
+
+int_range_strategy!(usize);
+int_range_strategy!(u32);
+int_range_strategy!(u64);
+int_range_strategy!(i32);
+int_range_strategy!(i64);
+
+/// Candidates between `v` and the target `lo`: the target itself, the
+/// midpoint, and the predecessor — the classic bisection ladder.
+fn shrink_toward<T>(v: T, lo: T) -> Vec<T>
+where
+    T: Copy + PartialEq + std::ops::Sub<Output = T> + std::ops::Add<Output = T> + MidpointDiv,
+{
+    if v == lo {
+        return Vec::new();
+    }
+    let mut out = vec![lo];
+    let mid = lo + (v - lo).half();
+    if mid != lo && mid != v {
+        out.push(mid);
+    }
+    let pred = v - T::one_unit();
+    if pred != lo && !out.contains(&pred) {
+        out.push(pred);
+    }
+    out
+}
+
+/// Helper for the shrink ladder: halving and unit step.
+pub trait MidpointDiv: Sized {
+    /// `self / 2`.
+    fn half(self) -> Self;
+    /// The value `1`.
+    fn one_unit() -> Self;
+}
+
+macro_rules! midpoint_impl {
+    ($($ty:ty),*) => {$(
+        impl MidpointDiv for $ty {
+            fn half(self) -> Self { self / 2 }
+            fn one_unit() -> Self { 1 as $ty }
+        }
+    )*};
+}
+midpoint_impl!(usize, u32, u64, i32, i64);
+
+// ---------------------------------------------------------------------------
+// floats and bools
+// ---------------------------------------------------------------------------
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+    fn shrink(&self, v: &f64) -> Vec<f64> {
+        // shrink toward the in-range value closest to zero
+        let target = 0.0f64.clamp(self.start, f64::from_bits(self.end.to_bits() - 1));
+        if (*v - target).abs() < 1e-12 {
+            return Vec::new();
+        }
+        vec![target, (target + *v) / 2.0]
+    }
+}
+
+/// Uniform `bool` (shrinks `true → false`).
+#[derive(Clone, Copy, Debug)]
+pub struct Bools;
+
+/// Strategy for a uniform `bool`.
+pub fn bools() -> Bools {
+    Bools
+}
+
+impl Strategy for Bools {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen::<bool>()
+    }
+    fn shrink(&self, v: &bool) -> Vec<bool> {
+        if *v { vec![false] } else { Vec::new() }
+    }
+}
+
+/// The full `u64` range (proptest's `any::<u64>()`).
+pub fn any_u64() -> RangeInclusive<u64> {
+    0..=u64::MAX
+}
+
+// ---------------------------------------------------------------------------
+// tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($S:ident . $idx:tt),+))+) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&v.$idx) {
+                        let mut next = v.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (S0.0, S1.1)
+    (S0.0, S1.1, S2.2)
+    (S0.0, S1.1, S2.2, S3.3)
+}
+
+// ---------------------------------------------------------------------------
+// vectors
+// ---------------------------------------------------------------------------
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: RangeInclusive<usize>,
+}
+
+/// A vector of `element` values with length in `len` (inclusive bounds; a
+/// `Range` end is exclusive, matching `proptest::collection::vec`).
+pub fn vec_of<S: Strategy>(element: S, len: impl IntoLenRange) -> VecStrategy<S> {
+    VecStrategy { element, len: len.into_len_range() }
+}
+
+/// Accepts `a..b` and `a..=b` as vector-length specifications.
+pub trait IntoLenRange {
+    /// Convert to inclusive bounds.
+    fn into_len_range(self) -> RangeInclusive<usize>;
+}
+
+impl IntoLenRange for Range<usize> {
+    fn into_len_range(self) -> RangeInclusive<usize> {
+        assert!(self.start < self.end, "empty length range");
+        self.start..=self.end - 1
+    }
+}
+
+impl IntoLenRange for RangeInclusive<usize> {
+    fn into_len_range(self) -> RangeInclusive<usize> {
+        self
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = rng.gen_range(self.len.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let min = *self.len.start();
+        let mut out: Vec<Self::Value> = Vec::new();
+        // 1. aggressive: cut to the minimum length, then halve
+        if v.len() > min {
+            out.push(v[..min].to_vec());
+            let half = (v.len() + min) / 2;
+            if half > min && half < v.len() {
+                out.push(v[..half].to_vec());
+            }
+            out.push(v[..v.len() - 1].to_vec());
+            // dropping a prefix catches "the bug is in the tail" cases
+            if v.len() >= min + 2 {
+                out.push(v[v.len() - (v.len() + min) / 2..].to_vec());
+            }
+        }
+        // 2. element-wise: every shrink candidate of each element (the
+        // greedy walk needs the less-aggressive ones — e.g. `pred` — to
+        // keep descending when the aggressive ones stop failing)
+        for (i, elem) in v.iter().enumerate() {
+            for cand in self.element.shrink(elem) {
+                let mut next = v.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// the runner
+// ---------------------------------------------------------------------------
+
+/// A minimised failure, as found by [`run_check`].
+#[derive(Debug)]
+pub struct Failure<V> {
+    /// The (shrunk) failing input.
+    pub value: V,
+    /// Master seed that reproduces the run.
+    pub seed: u64,
+    /// 0-based index of the originally failing case.
+    pub case: usize,
+    /// Panic payload of the minimal case.
+    pub message: String,
+    /// Shrink steps that were accepted.
+    pub shrink_steps: usize,
+}
+
+/// Resolved runner configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of random cases to run.
+    pub cases: usize,
+    /// Master seed (per-case seeds derive from it).
+    pub seed: u64,
+    /// Cap on shrink candidate evaluations.
+    pub max_shrink_iters: usize,
+}
+
+impl Config {
+    /// `default_cases` unless `MSPGEMM_TESTKIT_CASES` overrides it; seed
+    /// from `MSPGEMM_TESTKIT_SEED` (default fixed), shrink budget 4096.
+    pub fn from_env(default_cases: usize) -> Self {
+        let env_usize = |name: &str| {
+            std::env::var(name).ok().and_then(|v| v.parse::<usize>().ok())
+        };
+        Config {
+            cases: env_usize("MSPGEMM_TESTKIT_CASES").unwrap_or(default_cases),
+            seed: std::env::var("MSPGEMM_TESTKIT_SEED")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0x5EED_1E57_u64),
+            max_shrink_iters: env_usize("MSPGEMM_TESTKIT_SHRINK_ITERS").unwrap_or(4096),
+        }
+    }
+}
+
+thread_local! {
+    /// While true, the silent panic hook swallows this thread's panics
+    /// (shrink attempts would otherwise spam stderr).
+    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Install (once, process-wide) a panic hook that honours [`QUIET_PANICS`]
+/// on the panicking thread and delegates to the previous hook otherwise.
+fn install_quiet_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(|q| q.get()) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Run `prop` on the value, quietly capturing any panic.
+fn fails<V, P>(prop: &P, value: V) -> Option<String>
+where
+    P: Fn(V),
+{
+    QUIET_PANICS.with(|q| q.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| prop(value)));
+    QUIET_PANICS.with(|q| q.set(false));
+    result.err().map(payload_to_string)
+}
+
+/// Core runner: generate `config.cases` inputs from `strategy`, run `prop`
+/// on each, and on the first failure shrink greedily. Returns `None` if
+/// every case passed. [`check`] is the panicking wrapper tests use.
+pub fn run_check<S, P>(config: &Config, strategy: &S, prop: P) -> Option<Failure<S::Value>>
+where
+    S: Strategy,
+    P: Fn(S::Value),
+{
+    install_quiet_hook();
+    let mut seeder = SplitMix64::new(config.seed);
+    for case in 0..config.cases {
+        let case_seed = seeder.next_u64();
+        let mut rng = TestRng::seed_from_u64(case_seed);
+        let value = strategy.generate(&mut rng);
+        let Some(first_message) = fails(&prop, value.clone()) else {
+            continue;
+        };
+
+        // greedy shrink: restart from the first failing candidate
+        let mut current = value;
+        let mut message = first_message;
+        let mut steps = 0usize;
+        let mut budget = config.max_shrink_iters;
+        'minimise: while budget > 0 {
+            for cand in strategy.shrink(&current) {
+                if budget == 0 {
+                    break 'minimise;
+                }
+                budget -= 1;
+                if let Some(msg) = fails(&prop, cand.clone()) {
+                    current = cand;
+                    message = msg;
+                    steps += 1;
+                    continue 'minimise;
+                }
+            }
+            break; // local minimum: no proposed candidate fails
+        }
+        return Some(Failure {
+            value: current,
+            seed: config.seed,
+            case,
+            message,
+            shrink_steps: steps,
+        });
+    }
+    None
+}
+
+/// Property entry point for tests: run `cases` random cases (or
+/// `MSPGEMM_TESTKIT_CASES`), shrink on failure, and panic with the minimal
+/// counterexample, the panic message it produced, and the reproducing seed.
+pub fn check<S, P>(name: &str, cases: usize, strategy: S, prop: P)
+where
+    S: Strategy,
+    P: Fn(S::Value),
+{
+    let config = Config::from_env(cases);
+    if let Some(fail) = run_check(&config, &strategy, prop) {
+        panic!(
+            "property '{name}' failed (case {} of {}, {} shrink steps; \
+             rerun with MSPGEMM_TESTKIT_SEED={})\n  minimal input: {:?}\n  panic: {}",
+            fail.case, config.cases, fail.shrink_steps, fail.seed, fail.value, fail.message,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0usize;
+        let counter = std::cell::RefCell::new(&mut count);
+        check("tautology", 64, 0..100usize, |_| {
+            **counter.borrow_mut() += 1;
+        });
+        assert_eq!(count, Config::from_env(64).cases);
+    }
+
+    #[test]
+    fn failure_is_reported_with_minimal_case() {
+        let cfg = Config { cases: 200, seed: 1, max_shrink_iters: 4096 };
+        let fail = run_check(&cfg, &(0..1000usize), |v| {
+            assert!(v < 500, "too big: {v}");
+        })
+        .expect("property must fail");
+        // greedy shrink must land on the smallest failing value
+        assert_eq!(fail.value, 500, "shrinker should minimise to the boundary");
+        assert!(fail.message.contains("too big"));
+    }
+
+    #[test]
+    fn shrinker_reduces_failing_vec_to_minimum() {
+        // fails whenever the vec contains an element >= 50; minimal failing
+        // case is the single-element vec [50]
+        let cfg = Config { cases: 500, seed: 7, max_shrink_iters: 8192 };
+        let fail = run_check(&cfg, &vec_of(0..100usize, 0..=30), |v| {
+            assert!(v.iter().all(|&x| x < 50), "bad element in {v:?}");
+        })
+        .expect("property must fail");
+        assert_eq!(fail.value, vec![50], "minimal counterexample, got {:?}", fail.value);
+        assert!(fail.shrink_steps > 0, "shrinking must have made progress");
+    }
+
+    #[test]
+    fn tuple_shrinking_minimises_each_component() {
+        let cfg = Config { cases: 300, seed: 3, max_shrink_iters: 8192 };
+        let fail = run_check(&cfg, &(0..100u32, 0..100u32), |(a, b)| {
+            assert!(a + b < 120, "{a} + {b}");
+        })
+        .expect("must fail");
+        let (a, b) = fail.value;
+        assert_eq!(a + b, 120, "boundary case expected, got ({a}, {b})");
+    }
+
+    #[test]
+    fn same_seed_same_cases() {
+        let collect = |seed: u64| {
+            let mut vals = Vec::new();
+            let cfg = Config { cases: 20, seed, max_shrink_iters: 0 };
+            let r = run_check(&cfg, &(0..1_000_000usize), |v| {
+                // never fails; record the generated values via a side channel
+                let _ = v;
+            });
+            assert!(r.is_none());
+            let mut rng_seeder = SplitMix64::new(seed);
+            for _ in 0..20 {
+                let mut rng = TestRng::seed_from_u64(rng_seeder.next_u64());
+                vals.push((0..1_000_000usize).generate(&mut rng));
+            }
+            vals
+        };
+        assert_eq!(collect(11), collect(11));
+        assert_ne!(collect(11), collect(12));
+    }
+
+    #[test]
+    fn env_case_override_is_respected() {
+        // from_env reads the var; don't set it process-wide (tests run in
+        // parallel), just check the default path
+        let cfg = Config::from_env(77);
+        if std::env::var("MSPGEMM_TESTKIT_CASES").is_err() {
+            assert_eq!(cfg.cases, 77);
+        }
+    }
+
+    #[test]
+    fn bools_shrink_to_false() {
+        assert_eq!(bools().shrink(&true), vec![false]);
+        assert!(bools().shrink(&false).is_empty());
+    }
+
+    #[test]
+    fn int_shrink_ladder_contains_target_and_midpoint() {
+        let cands = (10..100usize).shrink(&90);
+        assert!(cands.contains(&10));
+        assert!(cands.contains(&50));
+        assert!(cands.contains(&89));
+        assert!((10..100usize).shrink(&10).is_empty());
+    }
+}

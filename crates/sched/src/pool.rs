@@ -386,6 +386,43 @@ mod tests {
     }
 
     #[test]
+    fn every_variant_visits_each_tile_exactly_once_across_the_count_matrix() {
+        // the full coverage matrix: every schedule variant × tile counts
+        // around the thread count (1, p−1, p, 64·p) plus the
+        // more-threads-than-tiles regime
+        let p = 4usize;
+        let variants = [
+            Schedule::Static,
+            Schedule::Dynamic { chunk: 1 },
+            Schedule::Dynamic { chunk: 7 },
+            Schedule::Guided { chunk: 1 },
+            Schedule::Guided { chunk: 4 },
+        ];
+        let cases = [(p, 1usize), (p, p - 1), (p, p), (p, 64 * p), (4 * p, p / 2)];
+        for schedule in variants {
+            for (n_threads, n_tiles) in cases {
+                let counts: Vec<AtomicU64> = (0..n_tiles).map(|_| AtomicU64::new(0)).collect();
+                let reports = run_tiles(n_threads, n_tiles, schedule, |_| (), |_, tile| {
+                    counts[tile].fetch_add(1, Ordering::Relaxed);
+                });
+                assert_eq!(reports.len(), n_threads, "{schedule:?} p={n_threads} n={n_tiles}");
+                for (i, c) in counts.iter().enumerate() {
+                    assert_eq!(
+                        c.load(Ordering::Relaxed),
+                        1,
+                        "tile {i} under {schedule:?} with p={n_threads} n={n_tiles}"
+                    );
+                }
+                assert_eq!(
+                    reports.iter().map(|r| r.tiles_run).sum::<usize>(),
+                    n_tiles,
+                    "report totals under {schedule:?} with p={n_threads} n={n_tiles}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn imbalance_metric() {
         let mk = |ms: u64| ThreadReport { tiles_run: 1, busy: Duration::from_millis(ms) };
         let balanced = vec![mk(100), mk(100)];

@@ -13,13 +13,14 @@
 //! every multiply (the paper's §V-A concludes this estimate "is indeed a
 //! good estimate of load").
 
+use mspgemm_rt::par;
 use mspgemm_sparse::Csr;
-use rayon::prelude::*;
 
 /// Per-row work estimates `W[i]` (Eq. 2) for `C = M ⊙ (A × B)`.
 ///
-/// Parallelised over rows with rayon; the estimator itself is exactly the
-/// paper's, including counting the mask load.
+/// Parallelised over rows with the in-tree scoped-thread runtime; the
+/// estimator itself is exactly the paper's, including counting the mask
+/// load.
 pub fn row_work<TA, TB, TM>(a: &Csr<TA>, b: &Csr<TB>, mask: &Csr<TM>) -> Vec<u64>
 where
     TA: Copy + Sync,
@@ -28,17 +29,14 @@ where
 {
     assert_eq!(a.ncols(), b.nrows(), "row_work: inner dimensions");
     assert_eq!(mask.nrows(), a.nrows(), "row_work: mask rows");
-    (0..a.nrows())
-        .into_par_iter()
-        .map(|i| {
-            let (acols, _) = a.row(i);
-            let mut w = mask.row_nnz(i) as u64;
-            for &k in acols {
-                w += b.row_nnz(k as usize) as u64;
-            }
-            w
-        })
-        .collect()
+    par::map(a.nrows(), |i| {
+        let (acols, _) = a.row(i);
+        let mut w = mask.row_nnz(i) as u64;
+        for &k in acols {
+            w += b.row_nnz(k as usize) as u64;
+        }
+        w
+    })
 }
 
 /// Total estimated work — `Σ_i W[i]`.

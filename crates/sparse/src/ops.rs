@@ -7,7 +7,7 @@
 
 use crate::semiring::Semiring;
 use crate::{Csr, Idx};
-use rayon::prelude::*;
+use mspgemm_rt::par;
 
 /// Element-wise "multiply" (pattern **intersection**): `C = A ⊙ B` with
 /// `C[i,j] = mul(A[i,j], B[i,j])` wherever both are stored.
@@ -110,22 +110,18 @@ pub fn ewise_without<T: Copy, U: Copy>(a: &Csr<T>, pattern: &Csr<U>) -> Csr<T> {
 
 /// Sparse matrix × dense vector over a semiring: `y[i] = ⊕_k A[i,k] ⊗ x[k]`.
 ///
-/// Rows are processed in parallel with rayon (each output element is
-/// independent — the "embarrassingly parallel utility pass" case from
-/// DESIGN.md).
+/// Rows are processed in parallel (each output element is independent —
+/// the "embarrassingly parallel utility pass" case from DESIGN.md).
 pub fn spmv<S: Semiring>(a: &Csr<S::T>, x: &[S::T]) -> Vec<S::T> {
     assert_eq!(a.ncols(), x.len(), "spmv: dimension mismatch");
-    (0..a.nrows())
-        .into_par_iter()
-        .map(|i| {
-            let (cols, vals) = a.row(i);
-            let mut acc = S::zero();
-            for (&k, &v) in cols.iter().zip(vals) {
-                acc = S::fma(acc, v, x[k as usize]);
-            }
-            acc
-        })
-        .collect()
+    par::map(a.nrows(), |i| {
+        let (cols, vals) = a.row(i);
+        let mut acc = S::zero();
+        for (&k, &v) in cols.iter().zip(vals) {
+            acc = S::fma(acc, v, x[k as usize]);
+        }
+        acc
+    })
 }
 
 /// Masked sparse matrix × sparse vector (push-style), the row-wise analogue
@@ -169,21 +165,16 @@ pub fn masked_spmspv<S: Semiring>(
 /// Row-sum reduction over a semiring's additive monoid:
 /// `out[i] = ⊕_j A[i,j]`.
 pub fn reduce_rows<S: Semiring>(a: &Csr<S::T>) -> Vec<S::T> {
-    (0..a.nrows())
-        .into_par_iter()
-        .map(|i| {
-            let (_, vals) = a.row(i);
-            vals.iter().fold(S::zero(), |acc, &v| S::add(acc, v))
-        })
-        .collect()
+    par::map(a.nrows(), |i| {
+        let (_, vals) = a.row(i);
+        vals.iter().fold(S::zero(), |acc, &v| S::add(acc, v))
+    })
 }
 
 /// Full reduction over the additive monoid.
 pub fn reduce_all<S: Semiring>(a: &Csr<S::T>) -> S::T {
-    a.values()
-        .par_iter()
-        .copied()
-        .reduce(S::zero, S::add)
+    let vals = a.values();
+    par::map_reduce(vals.len(), |i| vals[i], S::zero, S::add)
 }
 
 #[cfg(test)]

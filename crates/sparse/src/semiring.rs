@@ -196,7 +196,10 @@ impl Semiring for PlusPair {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mspgemm_rt::testkit::{any_u64, bools, check};
+
+    /// proptest's default case count, kept for parity.
+    const CASES: usize = 256;
 
     fn assoc_comm_add<S: Semiring>(a: S::T, b: S::T, c: S::T) {
         assert_eq!(S::add(a, b), S::add(b, a), "{} ⊕ not commutative", S::NAME);
@@ -218,47 +221,60 @@ mod tests {
         );
     }
 
-    proptest! {
-        #[test]
-        fn bool_semiring_laws(a: bool, b: bool, c: bool) {
+    #[test]
+    fn bool_semiring_laws() {
+        check("bool_semiring_laws", CASES, (bools(), bools(), bools()), |(a, b, c)| {
             assoc_comm_add::<BoolOrAnd>(a, b, c);
             assoc_mul::<BoolOrAnd>(a, b, c);
-        }
+        });
+    }
 
-        #[test]
-        fn minplus_semiring_laws(a in 0u64..1 << 40, b in 0u64..1 << 40, c in 0u64..1 << 40) {
+    #[test]
+    fn minplus_semiring_laws() {
+        let s = (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40);
+        check("minplus_semiring_laws", CASES, s, |(a, b, c)| {
             assoc_comm_add::<MinPlus>(a, b, c);
             assoc_mul::<MinPlus>(a, b, c);
             // distributivity: a ⊗ (b ⊕ c) = (a ⊗ b) ⊕ (a ⊗ c)
-            prop_assert_eq!(
+            assert_eq!(
                 MinPlus::mul(a, MinPlus::add(b, c)),
                 MinPlus::add(MinPlus::mul(a, b), MinPlus::mul(a, c))
             );
-        }
+        });
+    }
 
-        #[test]
-        fn maxmin_semiring_laws(a: u64, b: u64, c: u64) {
+    #[test]
+    fn maxmin_semiring_laws() {
+        check("maxmin_semiring_laws", CASES, (any_u64(), any_u64(), any_u64()), |(a, b, c)| {
             assoc_comm_add::<MaxMin>(a, b, c);
             assoc_mul::<MaxMin>(a, b, c);
-        }
+        });
+    }
 
-        #[test]
-        fn pluspair_add_laws(a in 0u64..1 << 30, b in 0u64..1 << 30, c in 0u64..1 << 30) {
+    #[test]
+    fn pluspair_add_laws() {
+        let s = (0u64..1 << 30, 0u64..1 << 30, 0u64..1 << 30);
+        check("pluspair_add_laws", CASES, s, |(a, b, c)| {
             assoc_comm_add::<PlusPair>(a, b, c);
             // pair(x, y) == 1 always
-            prop_assert_eq!(PlusPair::mul(a, b), 1);
-        }
+            assert_eq!(PlusPair::mul(a, b), 1);
+        });
+    }
 
-        #[test]
-        fn plustimes_add_identity(a in -1e9f64..1e9f64) {
-            prop_assert_eq!(PlusTimes::add(a, PlusTimes::zero()), a);
-            prop_assert_eq!(PlusTimes::mul(a, PlusTimes::one()), a);
-        }
+    #[test]
+    fn plustimes_add_identity() {
+        check("plustimes_add_identity", CASES, -1e9f64..1e9f64, |a| {
+            assert_eq!(PlusTimes::add(a, PlusTimes::zero()), a);
+            assert_eq!(PlusTimes::mul(a, PlusTimes::one()), a);
+        });
+    }
 
-        #[test]
-        fn fma_matches_add_mul(acc in -1e6f64..1e6, a in -1e6f64..1e6, b in -1e6f64..1e6) {
-            prop_assert_eq!(PlusTimes::fma(acc, a, b), acc + a * b);
-        }
+    #[test]
+    fn fma_matches_add_mul() {
+        let s = (-1e6f64..1e6, -1e6f64..1e6, -1e6f64..1e6);
+        check("fma_matches_add_mul", CASES, s, |(acc, a, b)| {
+            assert_eq!(PlusTimes::fma(acc, a, b), acc + a * b);
+        });
     }
 
     #[test]

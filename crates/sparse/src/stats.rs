@@ -7,7 +7,7 @@
 //! checked against the synthetic stand-ins.
 
 use crate::Csr;
-use rayon::prelude::*;
+use mspgemm_rt::par;
 
 /// Summary statistics of a sparse matrix's structure.
 #[derive(Clone, Debug, PartialEq)]
@@ -62,9 +62,9 @@ impl MatrixStats {
         };
         let empty_rows = degrees.iter().filter(|&&d| d == 0).count();
 
-        let (band_sum, near) = (0..nrows)
-            .into_par_iter()
-            .map(|i| {
+        let (band_sum, near) = par::map_reduce(
+            nrows,
+            |i| {
                 let (cols, _) = a.row(i);
                 let mut bsum = 0u64;
                 let mut near = 0u64;
@@ -76,8 +76,10 @@ impl MatrixStats {
                     }
                 }
                 (bsum, near)
-            })
-            .reduce(|| (0, 0), |x, y| (x.0 + y.0, x.1 + y.1));
+            },
+            || (0, 0),
+            |x, y| (x.0 + y.0, x.1 + y.1),
+        );
 
         MatrixStats {
             nrows,

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the hermetic (zero external dependency) build.
+#
+# Runs entirely offline: the workspace must build, test, and compile its
+# bench targets with `--offline`, and the dependency graph must contain
+# nothing but the workspace's own path crates. The guard fails loudly if
+# a registry or git dependency ever reappears in a manifest.
+#
+# Usage: scripts/ci.sh   (from anywhere; cd's to the repo root)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== dependency hermeticity =="
+# Every dependency edge must resolve to a workspace path crate. `cargo
+# metadata` lists one `source` per package: null for path deps, a
+# registry/git URL otherwise. No jq in the image, so grep the raw JSON
+# for non-null sources.
+meta=$(cargo metadata --format-version 1 --offline --no-deps)
+if printf '%s' "$meta" | grep -o '"source":"[^"]*"' | grep -q .; then
+    echo "FAIL: non-path dependency in the workspace:" >&2
+    printf '%s' "$meta" | grep -o '"source":"[^"]*"' | sort -u >&2
+    exit 1
+fi
+# Belt and braces: inside any [*dependencies*] table, only
+# `{ path = ... }` / `.workspace = true` forms are allowed — no bare
+# version strings, no `version =`/`git =` keys.
+bad=$(awk '
+    /^\[/ { indeps = ($0 ~ /dependencies/) }
+    indeps && (/^[a-zA-Z0-9_-]+(\.[a-zA-Z0-9_-]+)? *= *"/ \
+        || /version *=/ || /git *=/) \
+        { print FILENAME ":" FNR ": " $0 }
+' Cargo.toml crates/*/Cargo.toml)
+if [ -n "$bad" ]; then
+    echo "FAIL: a Cargo.toml declares a registry/git dependency:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+echo "ok: all dependencies are workspace path crates"
+
+echo "== build (release, offline) =="
+cargo build --release --workspace --offline
+
+echo "== bench targets compile =="
+cargo build --workspace --benches --offline
+
+echo "== tests =="
+cargo test -q --workspace --offline
+
+echo "CI OK"

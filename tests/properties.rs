@@ -1,4 +1,5 @@
-//! Property-based tests (proptest) over randomly generated operands.
+//! Property-based tests (in-tree `mspgemm_rt::testkit` harness) over
+//! randomly generated operands.
 //!
 //! Strategy: draw random COO triples, build CSR operands, and check the
 //! paper-level invariants of the masked product against the dense oracle
@@ -11,134 +12,164 @@
 
 use masked_spgemm_repro::prelude::*;
 use mspgemm_graph::grb::two_step_masked;
-use proptest::prelude::*;
+use mspgemm_rt::testkit::{check, vec_of, VecStrategy};
 
-/// Random CSR matrix via COO (duplicates collapse, keeping the last value).
-fn arb_csr(nrows: usize, ncols: usize, max_nnz: usize) -> impl Strategy<Value = Csr<f64>> {
-    proptest::collection::vec(
-        (0..nrows, 0..ncols, 1..100i32),
-        0..=max_nnz,
-    )
-    .prop_map(move |triples| {
-        let mut coo = Coo::new(nrows, ncols);
-        for (i, j, v) in triples {
-            coo.push(i, j, v as f64);
-        }
-        coo.to_csr_last()
-    })
+/// Matches the former proptest config: 64 cases per property
+/// (`MSPGEMM_TESTKIT_CASES` overrides).
+const CASES: usize = 64;
+
+/// Raw COO triples for a random matrix. The strategy stays at the triple
+/// level (not `Csr`) so shrinking drops/minimises entries generically; the
+/// property builds the matrix via [`csr`].
+fn arb_triples(
+    nrows: usize,
+    ncols: usize,
+    max_nnz: usize,
+) -> VecStrategy<(std::ops::Range<usize>, std::ops::Range<usize>, std::ops::Range<i32>)> {
+    vec_of((0..nrows, 0..ncols, 1..100i32), 0..=max_nnz)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Random CSR matrix from COO triples (duplicates collapse, keeping the
+/// last value).
+fn csr(nrows: usize, ncols: usize, triples: &[(usize, usize, i32)]) -> Csr<f64> {
+    let mut coo = Coo::new(nrows, ncols);
+    for &(i, j, v) in triples {
+        coo.push(i, j, v as f64);
+    }
+    coo.to_csr_last()
+}
 
-    #[test]
-    fn masked_product_matches_oracle(
-        a in arb_csr(24, 24, 120),
-        b in arb_csr(24, 24, 120),
-        m in arb_csr(24, 24, 120),
-    ) {
+#[test]
+fn masked_product_matches_oracle() {
+    let s = (arb_triples(24, 24, 120), arb_triples(24, 24, 120), arb_triples(24, 24, 120));
+    check("masked_product_matches_oracle", CASES, s, |(ta, tb, tm)| {
+        let (a, b, m) = (csr(24, 24, &ta), csr(24, 24, &tb), csr(24, 24, &tm));
         let want = Dense::masked_matmul::<PlusTimes, f64>(&a, &b, &m);
         let cfg = Config { n_threads: 2, n_tiles: 5, ..Config::default() };
         let got = masked_spgemm::<PlusTimes>(&a, &b, &m, &cfg).unwrap();
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
+}
 
-    #[test]
-    fn output_is_subset_of_mask(
-        a in arb_csr(20, 20, 100),
-        m in arb_csr(20, 20, 100),
-    ) {
-        let c = masked_spgemm::<PlusTimes>(&a, &a, &m, &Config { n_threads: 2, ..Config::default() }).unwrap();
+#[test]
+fn output_is_subset_of_mask() {
+    let s = (arb_triples(20, 20, 100), arb_triples(20, 20, 100));
+    check("output_is_subset_of_mask", CASES, s, |(ta, tm)| {
+        let (a, m) = (csr(20, 20, &ta), csr(20, 20, &tm));
+        let c = masked_spgemm::<PlusTimes>(
+            &a,
+            &a,
+            &m,
+            &Config { n_threads: 2, ..Config::default() },
+        )
+        .unwrap();
         for (i, j, _) in c.iter() {
-            prop_assert!(m.contains(i, j as usize), "({i},{j}) not in mask");
+            assert!(m.contains(i, j as usize), "({i},{j}) not in mask");
         }
-    }
+    });
+}
 
-    #[test]
-    fn fused_equals_two_step(
-        a in arb_csr(16, 16, 80),
-        b in arb_csr(16, 16, 80),
-        m in arb_csr(16, 16, 80),
-    ) {
+#[test]
+fn fused_equals_two_step() {
+    let s = (arb_triples(16, 16, 80), arb_triples(16, 16, 80), arb_triples(16, 16, 80));
+    check("fused_equals_two_step", CASES, s, |(ta, tb, tm)| {
+        let (a, b, m) = (csr(16, 16, &ta), csr(16, 16, &tb), csr(16, 16, &tm));
         let cfg = Config { n_threads: 2, n_tiles: 3, ..Config::default() };
         let fused = masked_spgemm::<PlusTimes>(&a, &b, &m, &cfg).unwrap();
         let two = two_step_masked::<PlusTimes>(&m, &a, &b).unwrap();
-        prop_assert_eq!(fused, two);
-    }
+        assert_eq!(fused, two);
+    });
+}
 
-    #[test]
-    fn iteration_spaces_agree_pairwise(
-        a in arb_csr(18, 18, 90),
-        m in arb_csr(18, 18, 90),
-    ) {
+#[test]
+fn iteration_spaces_agree_pairwise() {
+    let s = (arb_triples(18, 18, 90), arb_triples(18, 18, 90));
+    check("iteration_spaces_agree_pairwise", CASES, s, |(ta, tm)| {
+        let (a, m) = (csr(18, 18, &ta), csr(18, 18, &tm));
         let mk = |iteration| Config { iteration, n_threads: 2, n_tiles: 4, ..Config::default() };
-        let base = masked_spgemm::<PlusTimes>(&a, &a, &m, &mk(IterationSpace::MaskAccumulate)).unwrap();
+        let base =
+            masked_spgemm::<PlusTimes>(&a, &a, &m, &mk(IterationSpace::MaskAccumulate)).unwrap();
         for it in [IterationSpace::Vanilla, IterationSpace::CoIterate, IterationSpace::Hybrid { kappa: 1.0 }] {
             let other = masked_spgemm::<PlusTimes>(&a, &a, &m, &mk(it)).unwrap();
-            prop_assert_eq!(&other, &base, "{} vs mask-accum", it.label());
+            assert_eq!(other, base, "{} vs mask-accum", it.label());
         }
-    }
+    });
+}
 
-    #[test]
-    fn accumulators_agree_pairwise(
-        a in arb_csr(18, 18, 90),
-        m in arb_csr(18, 18, 90),
-    ) {
+#[test]
+fn accumulators_agree_pairwise() {
+    let s = (arb_triples(18, 18, 90), arb_triples(18, 18, 90));
+    check("accumulators_agree_pairwise", CASES, s, |(ta, tm)| {
+        let (a, m) = (csr(18, 18, &ta), csr(18, 18, &tm));
         let mk = |accumulator| Config { accumulator, n_threads: 2, ..Config::default() };
-        let base = masked_spgemm::<PlusTimes>(&a, &a, &m, &mk(AccumulatorKind::Dense(MarkerWidth::W64))).unwrap();
+        let base =
+            masked_spgemm::<PlusTimes>(&a, &a, &m, &mk(AccumulatorKind::Dense(MarkerWidth::W64)))
+                .unwrap();
         for acc in AccumulatorKind::all() {
             let other = masked_spgemm::<PlusTimes>(&a, &a, &m, &mk(acc)).unwrap();
-            prop_assert_eq!(&other, &base, "{} vs dense64", acc.label());
+            assert_eq!(other, base, "{} vs dense64", acc.label());
         }
-    }
+    });
+}
 
-    #[test]
-    fn boolean_masked_square_is_reachability_intersection(
-        a in arb_csr(15, 15, 70),
-    ) {
-        // over the boolean semiring, C[i,j] = 1 iff ∃k: A[i,k] ∧ A[k,j],
-        // restricted to stored positions of the mask (= A here)
-        let ab = a.spones(true);
-        let c = masked_spgemm::<BoolOrAnd>(&ab, &ab, &ab, &Config { n_threads: 2, ..Config::default() }).unwrap();
-        for (i, j, v) in c.iter() {
-            prop_assert!(v, "stored boolean outputs are true");
-            let (icols, _) = ab.row(i);
-            let two_path = icols.iter().any(|&k| ab.contains(k as usize, j as usize));
-            prop_assert!(two_path, "({i},{j}) stored but no 2-path");
-        }
-    }
+#[test]
+fn boolean_masked_square_is_reachability_intersection() {
+    check(
+        "boolean_masked_square_is_reachability_intersection",
+        CASES,
+        arb_triples(15, 15, 70),
+        |ta| {
+            // over the boolean semiring, C[i,j] = 1 iff ∃k: A[i,k] ∧ A[k,j],
+            // restricted to stored positions of the mask (= A here)
+            let a = csr(15, 15, &ta);
+            let ab = a.spones(true);
+            let c = masked_spgemm::<BoolOrAnd>(
+                &ab,
+                &ab,
+                &ab,
+                &Config { n_threads: 2, ..Config::default() },
+            )
+            .unwrap();
+            for (i, j, v) in c.iter() {
+                assert!(v, "stored boolean outputs are true");
+                let (icols, _) = ab.row(i);
+                let two_path = icols.iter().any(|&k| ab.contains(k as usize, j as usize));
+                assert!(two_path, "({i},{j}) stored but no 2-path");
+            }
+        },
+    );
+}
 
-    #[test]
-    fn tiler_partitions_rows_exactly(
-        work in proptest::collection::vec(0u64..1000, 1..200),
-        n_tiles in 1usize..64,
-    ) {
+#[test]
+fn tiler_partitions_rows_exactly() {
+    let s = (vec_of(0u64..1000, 1..200), 1usize..64);
+    check("tiler_partitions_rows_exactly", CASES, s, |(work, n_tiles)| {
         let tiles = mspgemm_sched::balanced_tiles(&work, n_tiles);
-        prop_assert_eq!(tiles.len(), n_tiles);
-        prop_assert_eq!(tiles[0].lo, 0);
-        prop_assert_eq!(tiles.last().unwrap().hi, work.len());
+        assert_eq!(tiles.len(), n_tiles);
+        assert_eq!(tiles[0].lo, 0);
+        assert_eq!(tiles.last().unwrap().hi, work.len());
         for w in tiles.windows(2) {
-            prop_assert_eq!(w[0].hi, w[1].lo);
+            assert_eq!(w[0].hi, w[1].lo);
         }
         let uniform = mspgemm_sched::uniform_tiles(work.len(), n_tiles);
-        prop_assert_eq!(uniform.iter().map(|t| t.len()).sum::<usize>(), work.len());
-    }
+        assert_eq!(uniform.iter().map(|t| t.len()).sum::<usize>(), work.len());
+    });
+}
 
-    #[test]
-    fn balanced_tiles_bound_max_work(
-        work in proptest::collection::vec(1u64..100, 10..200),
-        n_tiles in 2usize..32,
-    ) {
+#[test]
+fn balanced_tiles_bound_max_work() {
+    let s = (vec_of(1u64..100, 10..200), 2usize..32);
+    check("balanced_tiles_bound_max_work", CASES, s, |(work, n_tiles)| {
         // each balanced tile carries at most average + one row's work
         let total: u64 = work.iter().sum();
         let max_row = *work.iter().max().unwrap();
         let tiles = mspgemm_sched::balanced_tiles(&work, n_tiles);
         for t in &tiles {
             let tw: u64 = work[t.lo..t.hi].iter().sum();
-            prop_assert!(
+            assert!(
                 tw <= total / n_tiles as u64 + max_row + 1,
-                "tile {:?} work {} exceeds bound", t, tw
+                "tile {t:?} work {tw} exceeds bound"
             );
         }
-    }
+    });
 }
