@@ -13,6 +13,7 @@
 
 use crate::marker::{advance_epoch, Marker};
 use crate::Accumulator;
+use mspgemm_rt::failpoint;
 use mspgemm_sparse::{Idx, Semiring};
 
 /// Dense accumulator with `M`-typed epoch markers.
@@ -48,6 +49,7 @@ impl<S: Semiring, M: Marker> DenseAccumulator<S, M> {
 impl<S: Semiring, M: Marker> Accumulator<S> for DenseAccumulator<S, M> {
     #[inline]
     fn begin_row(&mut self) {
+        failpoint::maybe_fire(failpoint::ACCUM_RESET, self.cur);
         let (next, overflow) = advance_epoch::<M>(self.cur);
         if overflow {
             // Fig. 13's trade-off: the narrow marker just overflowed, so

@@ -13,6 +13,7 @@
 
 use crate::marker::{advance_epoch, Marker};
 use crate::Accumulator;
+use mspgemm_rt::failpoint;
 use mspgemm_sparse::{Idx, Semiring};
 
 /// Fibonacci multiplicative hash of a column index into `cap` buckets
@@ -96,6 +97,7 @@ impl<S: Semiring, M: Marker> HashAccumulator<S, M> {
 impl<S: Semiring, M: Marker> Accumulator<S> for HashAccumulator<S, M> {
     #[inline]
     fn begin_row(&mut self) {
+        failpoint::maybe_fire(failpoint::ACCUM_RESET, self.cur);
         let (next, overflow) = advance_epoch::<M>(self.cur);
         if overflow {
             self.marks.fill(M::default());

@@ -96,7 +96,7 @@ pub fn masked_spgemm_dot<S: Semiring>(
     let results: Vec<OnceLock<TileOut<S::T>>> =
         (0..tiles.len()).map(|_| OnceLock::new()).collect();
 
-    run_tiles(
+    let outcome = run_tiles(
         n_threads,
         tiles.len(),
         config.schedule,
@@ -121,19 +121,37 @@ pub fn masked_spgemm_dot<S: Semiring>(
                 }
                 row_nnz.push((cols.len() - before) as u32);
             }
-            results[t]
-                .set(TileOut { row_nnz, cols, vals })
-                .unwrap_or_else(|_| panic!("tile {t} ran twice"));
+            let _ = results[t].set(TileOut { row_nnz, cols, vals });
         },
     );
+
+    // No degraded retry here: the dot kernel has no alternative
+    // configuration to fall back across, so a failed tile surfaces
+    // directly (the first failure names the tile).
+    if let Err(exec) = outcome {
+        let first = &exec.failures[0];
+        let tile = tiles.get(first.tile).copied().unwrap_or(mspgemm_sched::Tile {
+            lo: 0,
+            hi: a.nrows(),
+        });
+        return Err(SparseError::TileFailed {
+            tile: first.tile,
+            rows: (tile.lo, tile.hi),
+            detail: first.payload.clone(),
+        });
+    }
 
     let mut row_ptr = Vec::with_capacity(a.nrows() + 1);
     row_ptr.push(0usize);
     let mut out_cols = Vec::new();
     let mut out_vals = Vec::new();
     let mut acc = 0usize;
-    for r in &results {
-        let t = r.get().expect("all tiles ran");
+    for (idx, r) in results.iter().enumerate() {
+        let Some(t) = r.get() else {
+            return Err(SparseError::Internal {
+                detail: format!("dot: fragment {idx} missing after successful run"),
+            });
+        };
         for &rn in &t.row_nnz {
             acc += rn as usize;
             row_ptr.push(acc);

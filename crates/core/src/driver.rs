@@ -11,6 +11,21 @@
 //!    each thread owns a private accumulator and each tile produces an
 //!    independent `(cols, vals, row_nnz)` fragment;
 //! 5. stitch the fragments into the output CSR.
+//!
+//! # Fault tolerance
+//!
+//! Tile execution is panic-isolated (see `mspgemm_sched::pool`): a kernel
+//! that unwinds loses only its own tile, and the driver retries each lost
+//! tile **once, serially, with the conservative configuration** — the
+//! vanilla saxpy kernel over a dense `u64`-marker accumulator — before
+//! giving up. All kernels accumulate each output row's products in the
+//! same `k` order, so a successful retry is bit-identical to what the
+//! original configuration would have produced. Only if the degraded retry
+//! *also* fails does the call surface [`SparseError::TileFailed`], naming
+//! the tile and its row range; internal invariant breaks surface as
+//! [`SparseError::Internal`]. The process never aborts either way, and
+//! [`RunStats::retried_tiles`] / [`RunStats::failed_tiles`] make any
+//! degradation observable.
 
 use crate::config::{Config, IterationSpace};
 use crate::kernels::{row_coiterate, row_hybrid, row_mask_accumulate, row_vanilla};
@@ -18,9 +33,14 @@ use mspgemm_accum::{
     Accumulator, AccumulatorKind, DenseAccumulator, HashAccumulator, MarkerWidth,
     SortAccumulator,
 };
-use mspgemm_sched::{run_tiles, tile::tiles_for, work::row_work, ThreadReport, Tile};
+use mspgemm_rt::failpoint;
+use mspgemm_sched::{
+    catch_tile_panic, run_tiles, tile::tiles_for, work::row_work, work::total_work, ExecError,
+    ThreadReport, Tile,
+};
 use mspgemm_sparse::{Csr, Idx, Semiring, SparseError};
-use std::sync::OnceLock;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Measurements from one driver invocation.
@@ -41,6 +61,14 @@ pub struct RunStats {
     pub n_tiles: usize,
     /// Threads actually used.
     pub n_threads: usize,
+    /// Tiles that failed in the parallel phase and were recovered by the
+    /// degraded serial retry (vanilla kernel + dense `u64` accumulator).
+    pub retried_tiles: usize,
+    /// Tiles that failed in the parallel phase (each was then retried; a
+    /// retry failure aborts the whole call with
+    /// [`SparseError::TileFailed`], so on the `Ok` path this always equals
+    /// [`retried_tiles`](Self::retried_tiles)).
+    pub failed_tiles: usize,
 }
 
 impl RunStats {
@@ -96,27 +124,40 @@ pub fn masked_spgemm_with_stats<S: Semiring>(
     }
 
     let setup_start = Instant::now();
-    let work = row_work(a, b, mask);
-    let total_work: u64 = work.iter().sum();
     let n_threads = config.resolved_threads();
     let n_tiles = config.resolved_tiles(a.nrows());
-    let tiles = tiles_for(config.tiling, a.nrows(), &work, n_tiles);
-
-    // Hash-accumulator sizing (§III-C): mask-preload kernels can hold at
-    // most max_i nnz(M[i,:]) entries; the vanilla kernel must hold every
-    // distinct intermediate column, bounded by Σ nnz(B[k,:]) (= W[i] minus
-    // the mask term) and by ncols.
-    let max_row_entries = match config.iteration {
-        IterationSpace::Vanilla => (0..a.nrows())
-            .map(|i| ((work[i] - mask.row_nnz(i) as u64) as usize).min(b.ncols()))
-            .max()
-            .unwrap_or(1),
-        _ => (0..mask.nrows()).map(|i| mask.row_nnz(i)).max().unwrap_or(1),
+    // The estimation/tiling prologue runs in the calling thread; contain
+    // it so a pathological input (or the `work-estimate` failpoint) cannot
+    // abort the process.
+    let prologue = catch_tile_panic(|| {
+        let work = row_work(a, b, mask);
+        let estimated_work = total_work(&work);
+        let tiles = tiles_for(config.tiling, a.nrows(), &work, n_tiles);
+        // Hash-accumulator sizing (§III-C): mask-preload kernels can hold
+        // at most max_i nnz(M[i,:]) entries; the vanilla kernel must hold
+        // every distinct intermediate column, bounded by Σ nnz(B[k,:])
+        // (= W[i] minus the mask term, saturating) and by ncols.
+        let max_row_entries = match config.iteration {
+            IterationSpace::Vanilla => (0..a.nrows())
+                .map(|i| {
+                    (work[i].saturating_sub(mask.row_nnz(i) as u64) as usize).min(b.ncols())
+                })
+                .max()
+                .unwrap_or(1),
+            _ => (0..mask.nrows()).map(|i| mask.row_nnz(i)).max().unwrap_or(1),
+        };
+        (estimated_work, tiles, max_row_entries)
+    });
+    let (estimated_work, tiles, max_row_entries) = match prologue {
+        Ok(v) => v,
+        Err(msg) => {
+            return Err(SparseError::Internal { detail: format!("work estimation: {msg}") })
+        }
     };
     let setup = setup_start.elapsed();
 
     let start = Instant::now();
-    let (result, reports) = dispatch_accumulator::<S>(
+    let (result, reports, retry) = dispatch_accumulator::<S>(
         a,
         b,
         mask,
@@ -124,19 +165,30 @@ pub fn masked_spgemm_with_stats<S: Semiring>(
         &tiles,
         n_threads,
         max_row_entries,
-    );
+    )?;
     let elapsed = start.elapsed();
 
     let stats = RunStats {
         elapsed,
         setup,
         thread_reports: reports,
-        estimated_work: total_work,
+        estimated_work,
         output_nnz: result.nnz(),
         n_tiles,
         n_threads,
+        retried_tiles: retry.recovered,
+        failed_tiles: retry.failed,
     };
     Ok((result, stats))
+}
+
+/// What the degraded-retry pass did, threaded up into [`RunStats`].
+#[derive(Clone, Copy, Debug, Default)]
+struct RetryStats {
+    /// Tiles that failed in the parallel phase.
+    failed: usize,
+    /// Tiles recovered by the serial degraded retry.
+    recovered: usize,
 }
 
 /// Monomorphise on the accumulator family × marker width.
@@ -148,7 +200,7 @@ fn dispatch_accumulator<S: Semiring>(
     tiles: &[Tile],
     n_threads: usize,
     max_row_entries: usize,
-) -> (Csr<S::T>, Vec<ThreadReport>) {
+) -> Result<(Csr<S::T>, Vec<ThreadReport>, RetryStats), SparseError> {
     let ncols = b.ncols();
     match config.accumulator {
         AccumulatorKind::Dense(w) => match w {
@@ -185,7 +237,48 @@ fn dispatch_accumulator<S: Semiring>(
     }
 }
 
-/// The monomorphic parallel run: schedule tiles, compute fragments, stitch.
+/// Compute one tile's output fragment with the given iteration space and
+/// accumulator. Used by both the parallel phase (with the configured
+/// kernel) and the degraded serial retry (with the vanilla kernel) — every
+/// kernel folds each row's products in the same `k` order, so the two
+/// agree bit-for-bit.
+fn compute_fragment<S, A>(
+    tile: Tile,
+    iteration: IterationSpace,
+    a: &Csr<S::T>,
+    b: &Csr<S::T>,
+    mask: &Csr<S::T>,
+    acc: &mut A,
+) -> TileResult<S::T>
+where
+    S: Semiring,
+    A: Accumulator<S>,
+{
+    let mut row_nnz = Vec::with_capacity(tile.len());
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for i in tile.rows() {
+        let before = cols.len();
+        let (mask_cols, _) = mask.row(i);
+        match iteration {
+            IterationSpace::Vanilla => row_vanilla(i, a, b, mask_cols, acc, &mut cols, &mut vals),
+            IterationSpace::MaskAccumulate => {
+                row_mask_accumulate(i, a, b, mask_cols, acc, &mut cols, &mut vals)
+            }
+            IterationSpace::CoIterate => {
+                row_coiterate(i, a, b, mask_cols, acc, &mut cols, &mut vals)
+            }
+            IterationSpace::Hybrid { kappa } => {
+                row_hybrid(i, a, b, mask_cols, kappa, acc, &mut cols, &mut vals)
+            }
+        }
+        row_nnz.push((cols.len() - before) as u32);
+    }
+    TileResult { row_nnz, cols, vals }
+}
+
+/// The monomorphic parallel run: schedule tiles, compute fragments, retry
+/// failed tiles serially with the conservative configuration, stitch.
 fn run_generic<S, A, F>(
     a: &Csr<S::T>,
     b: &Csr<S::T>,
@@ -194,63 +287,112 @@ fn run_generic<S, A, F>(
     tiles: &[Tile],
     n_threads: usize,
     make_acc: F,
-) -> (Csr<S::T>, Vec<ThreadReport>)
+) -> Result<(Csr<S::T>, Vec<ThreadReport>, RetryStats), SparseError>
 where
     S: Semiring,
     A: Accumulator<S>,
     F: Fn() -> A + Sync,
 {
     let iteration = config.iteration;
+    let ncols = b.ncols();
     let results: Vec<OnceLock<TileResult<S::T>>> =
         (0..tiles.len()).map(|_| OnceLock::new()).collect();
+    let duplicate: Mutex<Option<usize>> = Mutex::new(None);
 
-    let reports = run_tiles(
+    let outcome = run_tiles(
         n_threads,
         tiles.len(),
         config.schedule,
         |_t| make_acc(),
         |acc, tile_idx| {
-            let tile = tiles[tile_idx];
-            let mut row_nnz = Vec::with_capacity(tile.len());
-            let mut cols = Vec::new();
-            let mut vals = Vec::new();
-            for i in tile.rows() {
-                let before = cols.len();
-                let (mask_cols, _) = mask.row(i);
-                match iteration {
-                    IterationSpace::Vanilla => {
-                        row_vanilla(i, a, b, mask_cols, acc, &mut cols, &mut vals)
-                    }
-                    IterationSpace::MaskAccumulate => {
-                        row_mask_accumulate(i, a, b, mask_cols, acc, &mut cols, &mut vals)
-                    }
-                    IterationSpace::CoIterate => {
-                        row_coiterate(i, a, b, mask_cols, acc, &mut cols, &mut vals)
-                    }
-                    IterationSpace::Hybrid { kappa } => {
-                        row_hybrid(i, a, b, mask_cols, kappa, acc, &mut cols, &mut vals)
-                    }
-                }
-                row_nnz.push((cols.len() - before) as u32);
+            failpoint::maybe_fire(failpoint::TILE_KERNEL, tile_idx as u64);
+            let frag = compute_fragment::<S, A>(tiles[tile_idx], iteration, a, b, mask, acc);
+            if results[tile_idx].set(frag).is_err() {
+                let mut guard = duplicate.lock().unwrap_or_else(|e| e.into_inner());
+                guard.get_or_insert(tile_idx);
             }
-            results[tile_idx]
-                .set(TileResult { row_nnz, cols, vals })
-                .unwrap_or_else(|_| panic!("tile {tile_idx} executed twice"));
         },
     );
 
+    if let Some(tile_idx) = duplicate.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        return Err(SparseError::Internal {
+            detail: format!("tile {tile_idx} executed twice"),
+        });
+    }
+
+    let (reports, parallel_failures) = match outcome {
+        Ok(reports) => (reports, Vec::new()),
+        Err(ExecError { failures, reports }) => (reports, failures),
+    };
+
+    // --- degraded serial retry: vanilla kernel + dense u64 accumulator ---
+    let mut payloads: HashMap<usize, String> = HashMap::new();
+    for f in &parallel_failures {
+        payloads.entry(f.tile).or_insert_with(|| f.payload.clone());
+    }
+    let missing: Vec<usize> = (0..tiles.len()).filter(|&i| results[i].get().is_none()).collect();
+    let mut retry = RetryStats { failed: missing.len(), recovered: 0 };
+    for tile_idx in missing {
+        let tile = tiles[tile_idx];
+        // The failpoint key used in the parallel body is the tile index,
+        // and the retry deliberately does NOT re-fire `tile-kernel`: the
+        // degraded path is the recovery path, exercised on its own via the
+        // `accum-reset` site.
+        let attempt = catch_tile_panic(|| {
+            let mut acc = DenseAccumulator::<S, u64>::new(ncols);
+            compute_fragment::<S, _>(tile, IterationSpace::Vanilla, a, b, mask, &mut acc)
+        });
+        match attempt {
+            Ok(frag) => {
+                let _ = results[tile_idx].set(frag);
+                retry.recovered += 1;
+            }
+            Err(retry_msg) => {
+                let first = payloads
+                    .remove(&tile_idx)
+                    .unwrap_or_else(|| "fragment missing".to_string());
+                return Err(SparseError::TileFailed {
+                    tile: tile_idx,
+                    rows: (tile.lo, tile.hi),
+                    detail: format!("parallel: {first}; degraded retry: {retry_msg}"),
+                });
+            }
+        }
+    }
+
     // --- stitch fragments (tiles are contiguous, in row order) ---
+    match catch_tile_panic(|| stitch::<S>(a.nrows(), ncols, &results)) {
+        Ok(Ok(c)) => Ok((c, reports, retry)),
+        Ok(Err(e)) => Err(e),
+        Err(msg) => Err(SparseError::Internal { detail: format!("stitch: {msg}") }),
+    }
+}
+
+/// Concatenate the per-tile fragments into the output CSR.
+fn stitch<S: Semiring>(
+    nrows: usize,
+    ncols: usize,
+    results: &[OnceLock<TileResult<S::T>>],
+) -> Result<Csr<S::T>, SparseError>
+where
+    S: Semiring,
+{
     let nnz: usize = results
         .iter()
         .map(|r| r.get().map_or(0, |t| t.cols.len()))
         .sum();
-    let mut row_ptr = Vec::with_capacity(a.nrows() + 1);
+    let mut row_ptr = Vec::with_capacity(nrows + 1);
     row_ptr.push(0usize);
     let mut out_cols = Vec::with_capacity(nnz);
     let mut out_vals = Vec::with_capacity(nnz);
     let mut acc_nnz = 0usize;
-    for r in &results {
-        let t = r.get().expect("all tiles must have run");
+    for (idx, r) in results.iter().enumerate() {
+        failpoint::maybe_fire(failpoint::FRAGMENT_STITCH, idx as u64);
+        let Some(t) = r.get() else {
+            return Err(SparseError::Internal {
+                detail: format!("fragment {idx} missing at stitch time"),
+            });
+        };
         for &rn in &t.row_nnz {
             acc_nnz += rn as usize;
             row_ptr.push(acc_nnz);
@@ -258,9 +400,15 @@ where
         out_cols.extend_from_slice(&t.cols);
         out_vals.extend_from_slice(&t.vals);
     }
-    debug_assert_eq!(row_ptr.len(), a.nrows() + 1);
-    let c = Csr::from_parts_unchecked(a.nrows(), b.ncols(), row_ptr, out_cols, out_vals);
-    (c, reports)
+    if row_ptr.len() != nrows + 1 {
+        return Err(SparseError::Internal {
+            detail: format!(
+                "stitched row pointers cover {} rows, output has {nrows}",
+                row_ptr.len() - 1
+            ),
+        });
+    }
+    Ok(Csr::from_parts_unchecked(nrows, ncols, row_ptr, out_cols, out_vals))
 }
 
 #[cfg(test)]
@@ -366,6 +514,8 @@ mod tests {
             16
         );
         assert!(stats.imbalance() >= 1.0);
+        assert_eq!(stats.retried_tiles, 0, "no failpoints armed, no retries");
+        assert_eq!(stats.failed_tiles, 0);
     }
 
     #[test]

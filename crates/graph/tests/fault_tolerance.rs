@@ -1,0 +1,67 @@
+//! Graph algorithms on top of the fault-tolerant driver: a failing tile
+//! kernel degrades (serial retry) instead of crashing the algorithm, and
+//! an unrecoverable failure surfaces as a structured error.
+
+use mspgemm_graph::count_triangles;
+use mspgemm_rt::failpoint;
+use mspgemm_sparse::{Coo, Csr, SparseError};
+use mspgemm_core::Config;
+use std::sync::Mutex;
+
+static REGISTRY_LOCK: Mutex<()> = Mutex::new(());
+
+const ALL_OFF: &str =
+    "tile-kernel=off;accum-reset=off;fragment-stitch=off;work-estimate=off";
+
+/// Symmetric random-ish graph with a known-loadable structure.
+fn ring_with_chords(n: usize) -> Csr<u64> {
+    let mut coo = Coo::new(n, n);
+    for i in 0..n {
+        let j = (i + 1) % n;
+        coo.push(i, j, 1u64);
+        coo.push(j, i, 1u64);
+        let k = (i + 2) % n;
+        coo.push(i, k, 1u64);
+        coo.push(k, i, 1u64);
+    }
+    coo.to_csr_with(|a, _| a)
+}
+
+#[test]
+fn fault_triangle_counting_recovers_from_tile_panics() {
+    let _guard = REGISTRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    failpoint::arm(ALL_OFF).expect("registry must be armable in this binary");
+    let g = ring_with_chords(60);
+    let cfg = Config { n_threads: 2, n_tiles: 6, ..Config::default() };
+    let want = count_triangles(&g, &cfg).expect("clean run");
+
+    failpoint::arm("tile-kernel=panic@p:1.0,seed:9").unwrap();
+    let got = count_triangles(&g, &cfg)
+        .expect("every tile fails, every tile is recovered serially");
+    assert_eq!(got, want, "degraded retry must not change the count");
+    failpoint::arm(ALL_OFF).unwrap();
+}
+
+#[test]
+fn fault_triangle_counting_surfaces_unrecoverable_failures() {
+    let _guard = REGISTRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    failpoint::arm(ALL_OFF).expect("armable");
+    let g = ring_with_chords(40);
+    let cfg = Config { n_threads: 2, n_tiles: 4, ..Config::default() };
+
+    // accum-reset also kills the degraded retry's dense accumulator, so
+    // the algorithm must surface TileFailed — and the process must live
+    failpoint::arm("tile-kernel=panic@p:1.0;accum-reset=panic@p:1.0").unwrap();
+    let err = count_triangles(&g, &cfg).expect_err("unrecoverable");
+    assert!(
+        matches!(err, SparseError::TileFailed { .. }),
+        "expected TileFailed, got {err:?}"
+    );
+    failpoint::arm(ALL_OFF).unwrap();
+
+    // after disarming, the same call succeeds again in this process
+    assert_eq!(
+        count_triangles(&g, &cfg).expect("clean after disarm"),
+        count_triangles(&g, &cfg).expect("stable"),
+    );
+}

@@ -14,7 +14,10 @@
 //!   matrices for each Table I seed.
 //! * [`testkit`] — a seeded property-testing mini-harness with greedy
 //!   shrinking, replacing the three `proptest` suites.
+//! * [`failpoint`] — deterministic fault injection (named sites armed via
+//!   `MSPGEMM_FAILPOINTS`), a zero-cost no-op when unarmed.
 
+pub mod failpoint;
 pub mod par;
 pub mod rng;
 pub mod testkit;

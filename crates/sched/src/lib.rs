@@ -28,6 +28,6 @@ pub mod pool;
 pub mod tile;
 pub mod work;
 
-pub use pool::{run_tiles, Schedule, ThreadReport};
+pub use pool::{catch_tile_panic, run_tiles, ExecError, Schedule, ThreadReport, TileFailure};
 pub use tile::{balanced_tiles, uniform_tiles, Tile, TilingStrategy};
 pub use work::{row_work, total_work};

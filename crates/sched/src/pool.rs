@@ -1,5 +1,5 @@
 //! The tile scheduler — OpenMP `schedule(static|dynamic)` semantics over
-//! scoped threads.
+//! scoped threads, with panic-isolated tile execution.
 //!
 //! The paper's experiments sweep the OpenMP scheduling policy with "each
 //! tile assigned to one thread" (§IV-C). We reproduce both policies
@@ -16,8 +16,23 @@
 //! Worker state (the sparse accumulator, in the masked-SpGEMM driver) is
 //! created *inside* each worker thread via the `init` callback, giving
 //! per-thread scratch without `Sync` on the state itself.
+//!
+//! # Fault tolerance
+//!
+//! Each tile body runs under `std::panic::catch_unwind`: a misbehaving
+//! kernel can neither take down the process nor strand sibling threads.
+//! Survivors keep draining the queue; the failed tiles are collected into
+//! structured [`TileFailure`] records and surfaced through [`ExecError`],
+//! so the caller knows exactly which tiles need recovery (the masked-SpGEMM
+//! driver retries them serially with a conservative configuration). A
+//! worker whose scratch state may be mid-update after an unwind rebuilds it
+//! via `init` before touching the next tile.
 
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, Once};
 use std::time::{Duration, Instant};
 
 /// The scheduling policy axis of the Fig. 10/11 sweeps.
@@ -61,37 +76,139 @@ impl Schedule {
 /// (im)balance — the quantity the paper's tiling discussion is about.
 #[derive(Clone, Debug, Default)]
 pub struct ThreadReport {
-    /// Tiles this thread executed.
+    /// Tiles this thread executed to completion.
     pub tiles_run: usize,
+    /// Tiles this thread started that unwound (recorded in the
+    /// [`ExecError`] failure list).
+    pub tiles_failed: usize,
     /// Wall time the thread spent inside tile bodies.
     pub busy: Duration,
 }
 
+/// One tile that unwound instead of completing.
+#[derive(Clone, Debug)]
+pub struct TileFailure {
+    /// Index of the failed tile.
+    pub tile: usize,
+    /// The unwind payload, stringified (`&str`/`String` payloads are
+    /// preserved verbatim).
+    pub payload: String,
+    /// Wall time spent inside the tile body before it unwound.
+    pub elapsed: Duration,
+}
+
+/// Structured outcome of a run in which one or more tiles failed.
+///
+/// Every surviving tile still ran to completion (the queue is fully
+/// drained); `failures` lists the casualties in ascending tile order, and
+/// `reports` carries the per-thread accounting exactly as in the success
+/// path so callers can still compute load-balance statistics.
+#[derive(Clone, Debug)]
+pub struct ExecError {
+    /// The failed tiles, sorted by tile index (deterministic regardless of
+    /// thread interleaving).
+    pub failures: Vec<TileFailure>,
+    /// Per-thread reports for the whole run, including failed attempts.
+    pub reports: Vec<ThreadReport>,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} tile(s) failed:", self.failures.len())?;
+        for failure in self.failures.iter().take(4) {
+            write!(f, " tile {} ({});", failure.tile, failure.payload)?;
+        }
+        if self.failures.len() > 4 {
+            write!(f, " … and {} more", self.failures.len() - 4)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+thread_local! {
+    /// Set while this thread is inside a caught tile body, so the global
+    /// hook stays silent for expected unwinds.
+    static QUIET_UNWIND: Cell<bool> = const { Cell::new(false) };
+}
+
+static QUIET_HOOK: Once = Once::new();
+
+/// Install (once, process-wide) a hook that suppresses the default
+/// "thread panicked" stderr spew for unwinds we are about to catch and
+/// report structurally, chaining to the previous hook for everything else.
+fn install_quiet_hook() {
+    QUIET_HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET_UNWIND.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Stringify an unwind payload, preserving `&str`/`String` messages.
+pub fn payload_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `f`, converting an unwind into `Err(message)` without letting the
+/// default hook write to stderr. This is the one sanctioned way library
+/// code contains a possibly-faulty tile computation.
+pub fn catch_tile_panic<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    install_quiet_hook();
+    QUIET_UNWIND.with(|q| q.set(true));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(f));
+    QUIET_UNWIND.with(|q| q.set(false));
+    outcome.map_err(|payload| payload_message(payload.as_ref()))
+}
+
 /// Execute `n_tiles` tiles on `n_threads` worker threads under `schedule`.
 ///
-/// For each worker thread `t`, `init(t)` runs first (in that thread) to
-/// build its private state `W`; then `body(&mut state, tile_index)` runs
-/// for every tile the scheduler hands the thread. Returns one
-/// [`ThreadReport`] per thread.
+/// For each worker thread `t`, `init(t)` runs first (in that thread, lazily
+/// before its first tile) to build its private state `W`; then
+/// `body(&mut state, tile_index)` runs for every tile the scheduler hands
+/// the thread. Returns one [`ThreadReport`] per thread.
 ///
-/// Panics in `body` propagate (the scope joins all threads first).
+/// A body that unwinds is caught: the tile is recorded as a
+/// [`TileFailure`], the worker rebuilds its state with `init` (the old
+/// state may have been mid-update) and keeps draining the queue. If state
+/// cannot be rebuilt, the tiles the worker had already claimed are recorded
+/// as failures and — under dynamic/guided scheduling — the remaining queue
+/// drains to the surviving workers. `Err` is returned iff at least one tile
+/// failed; the failure list is sorted by tile index, so the outcome is
+/// deterministic even though thread interleaving is not.
 pub fn run_tiles<W, I, F>(
     n_threads: usize,
     n_tiles: usize,
     schedule: Schedule,
     init: I,
     body: F,
-) -> Vec<ThreadReport>
+) -> Result<Vec<ThreadReport>, ExecError>
 where
     I: Fn(usize) -> W + Sync,
     F: Fn(&mut W, usize) + Sync,
 {
-    assert!(n_threads > 0, "need at least one thread");
+    let n_threads = n_threads.max(1);
     if n_tiles == 0 {
-        return vec![ThreadReport::default(); n_threads];
+        return Ok(vec![ThreadReport::default(); n_threads]);
     }
     let queue = AtomicUsize::new(0);
+    let failures: Mutex<Vec<TileFailure>> = Mutex::new(Vec::new());
     let mut reports = vec![ThreadReport::default(); n_threads];
+
+    let record = |tile: usize, payload: String, elapsed: Duration| {
+        let mut guard = failures.lock().unwrap_or_else(|e| e.into_inner());
+        guard.push(TileFailure { tile, payload, elapsed });
+    };
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n_threads);
@@ -99,9 +216,52 @@ where
             let init = &init;
             let body = &body;
             let queue = &queue;
+            let record = &record;
             handles.push(scope.spawn(move || {
-                let mut state = init(t);
+                let mut state: Option<W> = None;
                 let mut report = ThreadReport::default();
+                // Run one claimed range of tiles; returns false when the
+                // worker's state is unrecoverable (remaining tiles of the
+                // range are recorded as failures) so callers stop claiming.
+                let run_range = |state: &mut Option<W>,
+                                     report: &mut ThreadReport,
+                                     lo: usize,
+                                     hi: usize|
+                 -> bool {
+                    for tile in lo..hi {
+                        if state.is_none() {
+                            match catch_tile_panic(|| init(t)) {
+                                Ok(fresh) => *state = Some(fresh),
+                                Err(msg) => {
+                                    for lost in tile..hi {
+                                        report.tiles_failed += 1;
+                                        record(
+                                            lost,
+                                            format!("worker state init: {msg}"),
+                                            Duration::ZERO,
+                                        );
+                                    }
+                                    return false;
+                                }
+                            }
+                        }
+                        let Some(w) = state.as_mut() else { return false };
+                        let start = Instant::now();
+                        match catch_tile_panic(|| body(w, tile)) {
+                            Ok(()) => {
+                                report.busy += start.elapsed();
+                                report.tiles_run += 1;
+                            }
+                            Err(msg) => {
+                                report.tiles_failed += 1;
+                                record(tile, msg, start.elapsed());
+                                // scratch may be mid-update; rebuild lazily
+                                *state = None;
+                            }
+                        }
+                    }
+                    true
+                };
                 match schedule {
                     Schedule::Static => {
                         // contiguous block, same arithmetic as uniform tiling
@@ -109,12 +269,7 @@ where
                         let extra = n_tiles % n_threads;
                         let lo = t * base + t.min(extra);
                         let len = base + usize::from(t < extra);
-                        for tile in lo..lo + len {
-                            let start = Instant::now();
-                            body(&mut state, tile);
-                            report.busy += start.elapsed();
-                            report.tiles_run += 1;
-                        }
+                        run_range(&mut state, &mut report, lo, lo + len);
                     }
                     Schedule::Dynamic { chunk } => {
                         let chunk = chunk.max(1);
@@ -124,11 +279,8 @@ where
                                 break;
                             }
                             let hi = (lo + chunk).min(n_tiles);
-                            for tile in lo..hi {
-                                let start = Instant::now();
-                                body(&mut state, tile);
-                                report.busy += start.elapsed();
-                                report.tiles_run += 1;
+                            if !run_range(&mut state, &mut report, lo, hi) {
+                                break;
                             }
                         }
                     }
@@ -159,11 +311,8 @@ where
                             let remaining = n_tiles - lo;
                             let grab = (remaining / (2 * n_threads)).max(chunk);
                             let hi = (lo + grab).min(n_tiles);
-                            for tile in lo..hi {
-                                let start = Instant::now();
-                                body(&mut state, tile);
-                                report.busy += start.elapsed();
-                                report.tiles_run += 1;
+                            if !run_range(&mut state, &mut report, lo, hi) {
+                                break;
                             }
                         }
                     }
@@ -172,10 +321,26 @@ where
             }));
         }
         for (t, h) in handles.into_iter().enumerate() {
-            reports[t] = h.join().expect("worker thread panicked");
+            match h.join() {
+                Ok(rep) => reports[t] = rep,
+                // Cannot happen (everything inside the worker is caught),
+                // but a lost worker must not take down the caller.
+                Err(payload) => record(
+                    usize::MAX,
+                    format!("worker {t} aborted: {}", payload_message(payload.as_ref())),
+                    Duration::ZERO,
+                ),
+            }
         }
     });
-    reports
+
+    let mut failures = failures.into_inner().unwrap_or_else(|e| e.into_inner());
+    if failures.is_empty() {
+        Ok(reports)
+    } else {
+        failures.sort_by_key(|f| f.tile);
+        Err(ExecError { failures, reports })
+    }
 }
 
 /// Load-imbalance metric over the per-thread busy times:
@@ -208,7 +373,8 @@ mod tests {
             |_, tile| {
                 counts[tile].fetch_add(1, Ordering::Relaxed);
             },
-        );
+        )
+        .unwrap();
         for (i, c) in counts.iter().enumerate() {
             assert_eq!(c.load(Ordering::Relaxed), 1, "tile {i}");
         }
@@ -232,7 +398,8 @@ mod tests {
                 |_, tile| {
                     counts[tile].fetch_add(1, Ordering::Relaxed);
                 },
-            );
+            )
+            .unwrap();
             for (i, c) in counts.iter().enumerate() {
                 assert_eq!(c.load(Ordering::Relaxed), 1, "tile {i} chunk {chunk}");
             }
@@ -253,7 +420,8 @@ mod tests {
                     |_, tile| {
                         counts[tile].fetch_add(1, Ordering::Relaxed);
                     },
-                );
+                )
+                .unwrap();
                 for (i, c) in counts.iter().enumerate() {
                     assert_eq!(
                         c.load(Ordering::Relaxed),
@@ -286,7 +454,8 @@ mod tests {
                 }
                 std::hint::black_box(x);
             },
-        );
+        )
+        .unwrap();
         let total: usize = reports.iter().map(|r| r.tiles_run).sum();
         assert_eq!(total, 64);
         let max_tiles = reports.iter().map(|r| r.tiles_run).max().unwrap();
@@ -311,7 +480,8 @@ mod tests {
                 state.push(tile);
                 total.fetch_add(1, Ordering::Relaxed);
             },
-        );
+        )
+        .unwrap();
         assert_eq!(total.load(Ordering::Relaxed), 64);
     }
 
@@ -327,7 +497,8 @@ mod tests {
                 t
             },
             |_, _| {},
-        );
+        )
+        .unwrap();
         for s in &seen {
             assert_eq!(s.load(Ordering::Relaxed), 1);
         }
@@ -351,7 +522,8 @@ mod tests {
                 }
                 std::hint::black_box(x);
             },
-        );
+        )
+        .unwrap();
         let min_tiles = reports.iter().map(|r| r.tiles_run).min().unwrap();
         let max_tiles = reports.iter().map(|r| r.tiles_run).max().unwrap();
         assert!(
@@ -363,7 +535,9 @@ mod tests {
 
     #[test]
     fn zero_tiles_is_a_noop() {
-        let reports = run_tiles(4, 0, Schedule::Static, |_| (), |_, _: usize| panic!("no tiles"));
+        let reports =
+            run_tiles(4, 0, Schedule::Static, |_| (), |_, _: usize| panic!("no tiles"))
+                .unwrap();
         assert_eq!(reports.len(), 4);
         assert!(reports.iter().all(|r| r.tiles_run == 0));
     }
@@ -379,7 +553,8 @@ mod tests {
             |_, tile| {
                 counts[tile].fetch_add(1, Ordering::Relaxed);
             },
-        );
+        )
+        .unwrap();
         for c in &counts {
             assert_eq!(c.load(Ordering::Relaxed), 1);
         }
@@ -404,7 +579,8 @@ mod tests {
                 let counts: Vec<AtomicU64> = (0..n_tiles).map(|_| AtomicU64::new(0)).collect();
                 let reports = run_tiles(n_threads, n_tiles, schedule, |_| (), |_, tile| {
                     counts[tile].fetch_add(1, Ordering::Relaxed);
-                });
+                })
+                .unwrap();
                 assert_eq!(reports.len(), n_threads, "{schedule:?} p={n_threads} n={n_tiles}");
                 for (i, c) in counts.iter().enumerate() {
                     assert_eq!(
@@ -423,8 +599,164 @@ mod tests {
     }
 
     #[test]
+    fn panicking_tile_is_isolated_and_survivors_drain() {
+        // tile 13 always panics; every other tile must still run exactly
+        // once, and the process must not abort
+        for schedule in [Schedule::Dynamic { chunk: 1 }, Schedule::Static, Schedule::Guided { chunk: 1 }] {
+            let n_tiles = 40;
+            let counts: Vec<AtomicU64> = (0..n_tiles).map(|_| AtomicU64::new(0)).collect();
+            let err = run_tiles(
+                4,
+                n_tiles,
+                schedule,
+                |_| (),
+                |_, tile| {
+                    if tile == 13 {
+                        panic!("kernel died on tile {tile}");
+                    }
+                    counts[tile].fetch_add(1, Ordering::Relaxed);
+                },
+            )
+            .expect_err("tile 13 must be reported");
+            assert_eq!(err.failures.len(), 1, "{schedule:?}");
+            assert_eq!(err.failures[0].tile, 13);
+            assert!(err.failures[0].payload.contains("kernel died on tile 13"));
+            for (i, c) in counts.iter().enumerate() {
+                let want = if i == 13 { 0 } else { 1 };
+                assert_eq!(c.load(Ordering::Relaxed), want, "tile {i} under {schedule:?}");
+            }
+            assert_eq!(
+                err.reports.iter().map(|r| r.tiles_run).sum::<usize>(),
+                n_tiles - 1,
+                "{schedule:?}"
+            );
+            assert_eq!(err.reports.iter().map(|r| r.tiles_failed).sum::<usize>(), 1);
+        }
+    }
+
+    #[test]
+    fn multiple_failures_are_sorted_by_tile() {
+        let err = run_tiles(
+            3,
+            30,
+            Schedule::Dynamic { chunk: 2 },
+            |_| (),
+            |_, tile| {
+                if tile % 7 == 0 {
+                    panic!("bad tile");
+                }
+            },
+        )
+        .expect_err("tiles 0,7,14,21,28 fail");
+        let failed: Vec<usize> = err.failures.iter().map(|f| f.tile).collect();
+        assert_eq!(failed, vec![0, 7, 14, 21, 28]);
+    }
+
+    #[test]
+    fn worker_state_is_rebuilt_after_a_failure() {
+        // state is a guard value the body corrupts before unwinding; the
+        // rebuilt state must be fresh for subsequent tiles on that worker
+        let rebuilds = AtomicU64::new(0);
+        let err = run_tiles(
+            1,
+            10,
+            Schedule::Static,
+            |_| {
+                rebuilds.fetch_add(1, Ordering::Relaxed);
+                0u64 // healthy state
+            },
+            |state, tile| {
+                assert_eq!(*state, 0, "state must never be observed corrupted");
+                if tile == 4 {
+                    *state = 99; // corrupt, then die mid-update
+                    panic!("mid-update failure");
+                }
+            },
+        )
+        .expect_err("tile 4 fails");
+        assert_eq!(err.failures.len(), 1);
+        assert_eq!(rebuilds.load(Ordering::Relaxed), 2, "init runs again after the failure");
+        assert_eq!(err.reports[0].tiles_run, 9);
+    }
+
+    #[test]
+    fn failing_init_reports_the_claimed_tiles() {
+        // worker 1's init always fails: under static scheduling its whole
+        // block surfaces as failures, nothing silently vanishes
+        let err = run_tiles(
+            2,
+            10,
+            Schedule::Static,
+            |t| {
+                if t == 1 {
+                    panic!("no scratch for worker 1");
+                }
+            },
+            |_, _| {},
+        )
+        .expect_err("worker 1's block must fail");
+        let failed: Vec<usize> = err.failures.iter().map(|f| f.tile).collect();
+        assert_eq!(failed, vec![5, 6, 7, 8, 9]);
+        assert!(err.failures[0].payload.contains("worker state init"));
+        assert_eq!(err.reports[0].tiles_run, 5, "worker 0's block is unaffected");
+    }
+
+    #[test]
+    fn failing_init_under_dynamic_lets_survivors_drain() {
+        let err = run_tiles(
+            2,
+            20,
+            Schedule::Dynamic { chunk: 1 },
+            |t| {
+                if t == 1 {
+                    panic!("no scratch for worker 1");
+                }
+            },
+            // slow tiles, so worker 1 is certain to claim at least one
+            // before worker 0 drains the queue
+            |_, _| std::thread::sleep(Duration::from_millis(5)),
+        )
+        .expect_err("at least worker 1's first claim fails");
+        // worker 1 stops claiming after its failed chunk; worker 0 drains
+        // the rest, so failures + successes cover all 20 tiles exactly
+        let total =
+            err.failures.len() + err.reports.iter().map(|r| r.tiles_run).sum::<usize>();
+        assert_eq!(total, 20);
+        assert!(err.failures.len() <= 2, "only the claimed chunk is lost: {err}");
+    }
+
+    #[test]
+    fn exec_error_display_names_tiles() {
+        let err = run_tiles(2, 8, Schedule::Static, |_| (), |_, tile| {
+            if tile >= 2 {
+                panic!("boom {tile}");
+            }
+        })
+        .expect_err("six tiles fail");
+        let msg = err.to_string();
+        assert!(msg.contains("6 tile(s) failed"), "{msg}");
+        assert!(msg.contains("tile 2"), "{msg}");
+        assert!(msg.contains("and 2 more"), "{msg}");
+    }
+
+    #[test]
+    fn catch_tile_panic_preserves_payloads() {
+        assert_eq!(catch_tile_panic(|| 7), Ok(7));
+        let msg = catch_tile_panic(|| panic!("static str")).expect_err("unwinds");
+        assert_eq!(msg, "static str");
+        let msg = catch_tile_panic(|| panic!("formatted {}", 42)).expect_err("unwinds");
+        assert_eq!(msg, "formatted 42");
+        let msg = catch_tile_panic(|| std::panic::panic_any(17u32)).expect_err("unwinds");
+        assert_eq!(msg, "non-string panic payload");
+    }
+
+    #[test]
     fn imbalance_metric() {
-        let mk = |ms: u64| ThreadReport { tiles_run: 1, busy: Duration::from_millis(ms) };
+        let mk = |ms: u64| ThreadReport {
+            tiles_run: 1,
+            busy: Duration::from_millis(ms),
+            ..ThreadReport::default()
+        };
         let balanced = vec![mk(100), mk(100)];
         assert!((imbalance(&balanced) - 1.0).abs() < 1e-9);
         let skewed = vec![mk(300), mk(100)];

@@ -195,6 +195,27 @@ mod tests {
     }
 
     #[test]
+    fn balanced_survives_overflowing_work_distribution() {
+        // adversarial: the exact prefix sum exceeds u64::MAX, so the
+        // saturating prefix clamps. The tiler must still return a valid
+        // contiguous partition — the back half (where the prefix is flat at
+        // u64::MAX) may degenerate to empty tiles, never to a panic or a
+        // non-partition.
+        let work = vec![u64::MAX / 4; 16];
+        for n_tiles in [1usize, 3, 4, 16, 32] {
+            let tiles = balanced_tiles(&work, n_tiles);
+            assert_eq!(tiles.len(), n_tiles);
+            assert_partition(&tiles, 16);
+        }
+        // a single row that alone saturates the scale
+        let work = vec![1u64, u64::MAX, 1, 1];
+        let tiles = balanced_tiles(&work, 4);
+        assert_partition(&tiles, 4);
+        let giant = tiles.iter().find(|t| t.rows().contains(&1)).unwrap();
+        assert!(work[giant.lo..giant.hi].iter().any(|&w| w == u64::MAX));
+    }
+
+    #[test]
     fn strategy_dispatch() {
         let work = vec![1u64, 100, 1, 1];
         let u = tiles_for(TilingStrategy::Uniform, 4, &work, 2);

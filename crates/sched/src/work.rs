@@ -13,14 +13,17 @@
 //! every multiply (the paper's §V-A concludes this estimate "is indeed a
 //! good estimate of load").
 
-use mspgemm_rt::par;
+use mspgemm_rt::{failpoint, par};
 use mspgemm_sparse::Csr;
 
 /// Per-row work estimates `W[i]` (Eq. 2) for `C = M ⊙ (A × B)`.
 ///
 /// Parallelised over rows with the in-tree scoped-thread runtime; the
 /// estimator itself is exactly the paper's, including counting the mask
-/// load.
+/// load. All accumulation saturates: an adversarial distribution (e.g. a
+/// near-dense `B` row referenced by every `A` row on a huge matrix) clamps
+/// to `u64::MAX` instead of wrapping, which would silently corrupt the
+/// balanced tiler's split points (and panic in debug builds).
 pub fn row_work<TA, TB, TM>(a: &Csr<TA>, b: &Csr<TB>, mask: &Csr<TM>) -> Vec<u64>
 where
     TA: Copy + Sync,
@@ -29,30 +32,33 @@ where
 {
     assert_eq!(a.ncols(), b.nrows(), "row_work: inner dimensions");
     assert_eq!(mask.nrows(), a.nrows(), "row_work: mask rows");
+    failpoint::maybe_fire(failpoint::WORK_ESTIMATE, a.nrows() as u64);
     par::map(a.nrows(), |i| {
         let (acols, _) = a.row(i);
         let mut w = mask.row_nnz(i) as u64;
         for &k in acols {
-            w += b.row_nnz(k as usize) as u64;
+            w = w.saturating_add(b.row_nnz(k as usize) as u64);
         }
         w
     })
 }
 
-/// Total estimated work — `Σ_i W[i]`.
+/// Total estimated work — `Σ_i W[i]`, saturating at `u64::MAX`.
 pub fn total_work(work: &[u64]) -> u64 {
-    work.iter().sum()
+    work.iter().fold(0u64, |acc, &w| acc.saturating_add(w))
 }
 
 /// Exclusive prefix sums of `work`, with the grand total appended:
 /// `out[i] = Σ_{r<i} work[r]`, `out[n] = total`. The balanced tiler splits
-/// on this array.
+/// on this array. Saturating: once the running total clamps at `u64::MAX`
+/// the prefix stays monotone (non-decreasing), which is all the tiler's
+/// `partition_point` search requires.
 pub fn work_prefix(work: &[u64]) -> Vec<u64> {
     let mut out = Vec::with_capacity(work.len() + 1);
     let mut acc = 0u64;
     out.push(0);
     for &w in work {
-        acc += w;
+        acc = acc.saturating_add(w);
         out.push(acc);
     }
     out
@@ -100,6 +106,36 @@ mod tests {
     fn prefix_has_total_at_end() {
         let p = work_prefix(&[3, 2, 1]);
         assert_eq!(p, vec![0, 3, 5, 6]);
+    }
+
+    #[test]
+    fn prefix_saturates_on_adversarial_work() {
+        // an adversarial row-work distribution whose naive running sum
+        // wraps (and panics in debug builds): 16 rows near u64::MAX / 4
+        let work = vec![u64::MAX / 4; 16];
+        let p = work_prefix(&work);
+        assert_eq!(p.len(), 17);
+        assert_eq!(p[0], 0);
+        // monotone non-decreasing throughout, clamped at the top
+        for w in p.windows(2) {
+            assert!(w[0] <= w[1], "prefix must stay monotone: {w:?}");
+        }
+        assert_eq!(*p.last().unwrap(), u64::MAX);
+        assert_eq!(total_work(&work), u64::MAX);
+        // the balanced tiler still produces a valid partition on it
+        let tiles = crate::tile::balanced_tiles(&work, 4);
+        assert_eq!(tiles.first().unwrap().lo, 0);
+        assert_eq!(tiles.last().unwrap().hi, 16);
+        for w in tiles.windows(2) {
+            assert_eq!(w[0].hi, w[1].lo);
+        }
+    }
+
+    #[test]
+    fn total_work_saturates() {
+        assert_eq!(total_work(&[u64::MAX, 1, 2]), u64::MAX);
+        assert_eq!(total_work(&[u64::MAX - 1, 1]), u64::MAX);
+        assert_eq!(total_work(&[3, 2, 1]), 6);
     }
 
     #[test]

@@ -33,6 +33,18 @@ pub enum SparseError {
     Parse { line: usize, detail: String },
     /// Underlying I/O failure (stored as a string so the error stays `Clone`).
     Io(String),
+    /// A tile failed during parallel execution *and* its degraded serial
+    /// retry also failed. `rows` is the half-open output row range
+    /// `[lo, hi)` the tile covered; `detail` carries both panic payloads.
+    TileFailed {
+        tile: usize,
+        rows: (usize, usize),
+        detail: String,
+    },
+    /// An internal invariant broke (e.g. a tile fragment produced twice, or
+    /// the stitch phase unwound). Library code surfaces this instead of
+    /// panicking; it always indicates a bug, never bad user input.
+    Internal { detail: String },
 }
 
 impl fmt::Display for SparseError {
@@ -69,6 +81,14 @@ impl fmt::Display for SparseError {
                 write!(f, "parse error at line {line}: {detail}")
             }
             SparseError::Io(detail) => write!(f, "I/O error: {detail}"),
+            SparseError::TileFailed { tile, rows, detail } => write!(
+                f,
+                "tile {tile} (rows {}..{}) failed and its degraded retry failed: {detail}",
+                rows.0, rows.1
+            ),
+            SparseError::Internal { detail } => {
+                write!(f, "internal invariant violated: {detail}")
+            }
         }
     }
 }
@@ -111,5 +131,25 @@ mod tests {
         let a = SparseError::UnsortedRow { row: 7 };
         let b = a.clone();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tile_failed_names_the_tile_and_rows() {
+        let e = SparseError::TileFailed {
+            tile: 3,
+            rows: (96, 128),
+            detail: "parallel: boom; degraded retry: boom again".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("tile 3"), "{s}");
+        assert!(s.contains("96..128"), "{s}");
+        assert!(s.contains("degraded retry"), "{s}");
+    }
+
+    #[test]
+    fn internal_is_displayed_as_a_bug() {
+        let e = SparseError::Internal { detail: "fragment 5 produced twice".into() };
+        assert!(e.to_string().contains("internal invariant"));
+        assert!(e.to_string().contains("fragment 5"));
     }
 }

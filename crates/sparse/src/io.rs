@@ -117,6 +117,12 @@ pub fn read_matrix_market_from<R: Read>(reader: R) -> Result<Csr<f64>, SparseErr
         });
     }
     let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+    if nrows == 0 || ncols == 0 {
+        return Err(SparseError::Parse {
+            line: lineno,
+            detail: format!("zero-dimension matrix ({nrows}x{ncols}) is not valid Matrix Market"),
+        });
+    }
 
     // --- entries ---
     let mut coo = Coo::with_capacity(
@@ -159,9 +165,19 @@ pub fn read_matrix_market_from<R: Read>(reader: R) -> Result<Csr<f64>, SparseErr
                 .parse::<f64>()
                 .map_err(|e| SparseError::Parse { line: n + 1, detail: e.to_string() })?,
         };
-        coo.try_push(i - 1, j - 1, v)?;
+        if !v.is_finite() {
+            return Err(SparseError::Parse {
+                line: n + 1,
+                detail: format!("non-finite value {v}"),
+            });
+        }
+        // a structural error (index beyond the declared dimensions) is a
+        // *parse* error from the caller's point of view — report it with
+        // the offending line number
+        let as_parse = |e: SparseError| SparseError::Parse { line: n + 1, detail: e.to_string() };
+        coo.try_push(i - 1, j - 1, v).map_err(as_parse)?;
         if symmetry == Symmetry::Symmetric && i != j {
-            coo.try_push(j - 1, i - 1, v)?;
+            coo.try_push(j - 1, i - 1, v).map_err(as_parse)?;
         }
         seen += 1;
     }

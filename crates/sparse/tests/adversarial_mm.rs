@@ -1,0 +1,154 @@
+//! Adversarial Matrix Market corpus: every malformed input must surface a
+//! structured `SparseError::Parse`/`Io` — never a panic, never a silently
+//! wrong matrix.
+
+use mspgemm_sparse::io::{read_matrix_market_from, write_matrix_market_to};
+use mspgemm_sparse::{Csr, SparseError};
+
+fn parse(data: &str) -> Result<Csr<f64>, SparseError> {
+    read_matrix_market_from(data.as_bytes())
+}
+
+fn assert_parse_err(data: &str, what: &str) -> SparseError {
+    match parse(data) {
+        Err(e @ (SparseError::Parse { .. } | SparseError::Io(_))) => e,
+        other => panic!("{what}: expected Parse/Io error, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_header() {
+    assert_parse_err("%%MatrixMarket matrix coordinate\n", "header cut after format");
+    assert_parse_err("%%MatrixMarket\n3 3 1\n1 1 1.0\n", "header cut after banner");
+    assert_parse_err("%%Matrix", "header cut mid-token");
+    assert_parse_err("", "empty file");
+    // header present, size line missing entirely
+    assert_parse_err(
+        "%%MatrixMarket matrix coordinate real general\n% only comments follow\n",
+        "missing size line",
+    );
+}
+
+#[test]
+fn out_of_range_one_based_indices() {
+    // row index beyond the declared nrows
+    let e = assert_parse_err(
+        "%%MatrixMarket matrix coordinate real general\n3 3 1\n4 1 1.0\n",
+        "row index 4 in a 3x3 matrix",
+    );
+    if let SparseError::Parse { line, .. } = &e {
+        assert_eq!(*line, 3, "error must carry the offending line: {e}");
+    }
+    // column index beyond the declared ncols
+    assert_parse_err(
+        "%%MatrixMarket matrix coordinate real general\n3 3 1\n1 17 1.0\n",
+        "col index 17 in a 3x3 matrix",
+    );
+    // 0 is not a valid 1-based index
+    assert_parse_err(
+        "%%MatrixMarket matrix coordinate real general\n3 3 1\n0 1 1.0\n",
+        "zero row index",
+    );
+    // mirrored symmetric entry also validated
+    assert_parse_err(
+        "%%MatrixMarket matrix coordinate real symmetric\n3 2 1\n3 3 1.0\n",
+        "symmetric mirror lands out of range",
+    );
+}
+
+#[test]
+fn nnz_count_mismatch() {
+    assert_parse_err(
+        "%%MatrixMarket matrix coordinate real general\n2 2 5\n1 1 1.0\n",
+        "declared 5 entries, provided 1",
+    );
+    assert_parse_err(
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n2 2 2.0\n",
+        "declared 1 entry, provided 2",
+    );
+}
+
+#[test]
+fn non_finite_values_rejected() {
+    for bad in ["NaN", "nan", "inf", "-inf", "Infinity"] {
+        let data = format!(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 {bad}\n"
+        );
+        assert_parse_err(&data, &format!("non-finite value {bad}"));
+    }
+    // and a value that isn't a number at all
+    assert_parse_err(
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 banana\n",
+        "non-numeric value",
+    );
+}
+
+#[test]
+fn crlf_line_endings_parse_fine() {
+    let data = "%%MatrixMarket matrix coordinate real general\r\n\
+                % comment\r\n\
+                2 2 2\r\n\
+                1 1 1.5\r\n\
+                2 2 -2.0\r\n";
+    let a = parse(data).expect("CRLF files are valid Matrix Market");
+    assert_eq!(a.nnz(), 2);
+    assert_eq!(a.get(0, 0), Some(1.5));
+    assert_eq!(a.get(1, 1), Some(-2.0));
+}
+
+#[test]
+fn zero_dimension_matrix_rejected() {
+    assert_parse_err(
+        "%%MatrixMarket matrix coordinate real general\n0 0 0\n",
+        "0x0 matrix",
+    );
+    assert_parse_err(
+        "%%MatrixMarket matrix coordinate real general\n0 5 0\n",
+        "0-row matrix",
+    );
+    assert_parse_err(
+        "%%MatrixMarket matrix coordinate real general\n5 0 0\n",
+        "0-column matrix",
+    );
+}
+
+#[test]
+fn garbage_size_line_rejected() {
+    assert_parse_err(
+        "%%MatrixMarket matrix coordinate real general\nthree by three\n",
+        "non-numeric size line",
+    );
+    assert_parse_err(
+        "%%MatrixMarket matrix coordinate real general\n3 3\n",
+        "two-field size line",
+    );
+    assert_parse_err(
+        "%%MatrixMarket matrix coordinate real general\n-3 3 1\n1 1 1.0\n",
+        "negative dimension",
+    );
+}
+
+#[test]
+fn truncated_entry_lines_rejected() {
+    assert_parse_err(
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n1\n",
+        "entry with only a row index",
+    );
+    assert_parse_err(
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2\n",
+        "real entry missing its value",
+    );
+}
+
+#[test]
+fn roundtrip_survives_crlf_rewrite() {
+    // write a matrix, convert the stream to CRLF, read it back — parsing
+    // must be ending-agnostic end to end
+    let a = Csr::try_from_parts(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.5, -3.0])
+        .unwrap();
+    let mut buf = Vec::new();
+    write_matrix_market_to(&mut buf, &a).unwrap();
+    let crlf = String::from_utf8(buf).unwrap().replace('\n', "\r\n");
+    let back = read_matrix_market_from(crlf.as_bytes()).unwrap();
+    assert_eq!(back, a);
+}

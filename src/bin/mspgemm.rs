@@ -14,9 +14,22 @@
 
 use masked_spgemm_repro::prelude::*;
 use mspgemm_sparse::stats::MatrixStats;
+use mspgemm_sparse::SparseError;
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::time::Instant;
+
+/// Unwrap an execution result or exit 1 with the structured error — the
+/// library degrades/reports instead of panicking, and so does the CLI.
+fn or_die<T>(r: Result<T, SparseError>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("mspgemm: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn usage() -> ! {
     eprintln!(
@@ -172,7 +185,7 @@ fn main() -> ExitCode {
             let a = load_graph(&flags);
             let cfg = parse_config(&flags);
             let t0 = Instant::now();
-            let t = count_triangles(&a, &cfg).unwrap();
+            let t = or_die(count_triangles(&a, &cfg));
             println!("triangles: {t}  ({:.1} ms)", t0.elapsed().as_secs_f64() * 1e3);
         }
         "run" => {
@@ -186,7 +199,7 @@ fn main() -> ExitCode {
             for rep in 0..reps {
                 if bands > 1 {
                     let t0 = Instant::now();
-                    let c = masked_spgemm_2d::<PlusPair>(&a, &a, &a, &cfg, bands).unwrap();
+                    let c = or_die(masked_spgemm_2d::<PlusPair>(&a, &a, &a, &cfg, bands));
                     println!(
                         "rep {rep}: {:.2} ms, output nnz {}",
                         t0.elapsed().as_secs_f64() * 1e3,
@@ -194,7 +207,7 @@ fn main() -> ExitCode {
                     );
                 } else {
                     let (c, stats) =
-                        masked_spgemm_with_stats::<PlusPair>(&a, &a, &a, &cfg).unwrap();
+                        or_die(masked_spgemm_with_stats::<PlusPair>(&a, &a, &a, &cfg));
                     println!(
                         "rep {rep}: {:.2} ms kernel (+{:.2} ms setup), output nnz {}, imbalance {:.2}",
                         stats.elapsed.as_secs_f64() * 1e3,
@@ -225,7 +238,8 @@ fn main() -> ExitCode {
             for r in &p.reasons {
                 println!("  - {r}");
             }
-            let (_, stats) = masked_spgemm_with_stats::<PlusPair>(&a, &a, &a, &p.config).unwrap();
+            let (_, stats) =
+                or_die(masked_spgemm_with_stats::<PlusPair>(&a, &a, &a, &p.config));
             println!("measured: {:.2} ms", stats.elapsed.as_secs_f64() * 1e3);
         }
         other => {
