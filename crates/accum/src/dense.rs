@@ -13,7 +13,7 @@
 
 use crate::marker::{advance_epoch, Marker};
 use crate::Accumulator;
-use mspgemm_rt::failpoint;
+use mspgemm_rt::{failpoint, obs};
 use mspgemm_sparse::{Idx, Semiring};
 
 /// Dense accumulator with `M`-typed epoch markers.
@@ -21,15 +21,26 @@ use mspgemm_sparse::{Idx, Semiring};
 /// "The dense accumulator may be preferred when the dimension of the matrix
 /// is small, or when there is significant spatial locality in the writes"
 /// (§III-C) — the com-Orkut discussion in §V-B shows exactly that effect.
-pub struct DenseAccumulator<S: Semiring, M: Marker> {
+///
+/// `METER` selects the observability instantiation at compile time: the
+/// default `false` build carries no counting code at all (the hot loops
+/// are instruction-identical to an uninstrumented accumulator), while the
+/// driver swaps in the `true` instantiation when metrics are armed.
+pub struct DenseAccumulator<S: Semiring, M: Marker, const METER: bool = false> {
     vals: Vec<S::T>,
     marks: Vec<M>,
     /// Current row's "in mask" epoch; `cur + 1` is "written".
     cur: u64,
     full_resets: u64,
+    /// Plain (non-atomic) observability scratch, only ever touched by the
+    /// `METER = true` instantiation and folded into the global registry by
+    /// [`Accumulator::flush_metrics`] once per tile.
+    mask_hits: u64,
+    mask_misses: u64,
+    unflushed_resets: u64,
 }
 
-impl<S: Semiring, M: Marker> DenseAccumulator<S, M> {
+impl<S: Semiring, M: Marker, const METER: bool> DenseAccumulator<S, M, METER> {
     /// Create an accumulator for outputs with `ncols` columns.
     pub fn new(ncols: usize) -> Self {
         DenseAccumulator {
@@ -37,6 +48,9 @@ impl<S: Semiring, M: Marker> DenseAccumulator<S, M> {
             marks: vec![M::default(); ncols],
             cur: 0, // first begin_row() advances to 2
             full_resets: 0,
+            mask_hits: 0,
+            mask_misses: 0,
+            unflushed_resets: 0,
         }
     }
 
@@ -46,7 +60,7 @@ impl<S: Semiring, M: Marker> DenseAccumulator<S, M> {
     }
 }
 
-impl<S: Semiring, M: Marker> Accumulator<S> for DenseAccumulator<S, M> {
+impl<S: Semiring, M: Marker, const METER: bool> Accumulator<S> for DenseAccumulator<S, M, METER> {
     #[inline]
     fn begin_row(&mut self) {
         failpoint::maybe_fire(failpoint::ACCUM_RESET, self.cur);
@@ -56,6 +70,9 @@ impl<S: Semiring, M: Marker> Accumulator<S> for DenseAccumulator<S, M> {
             // every slot must be cleared before epochs can be reused.
             self.marks.fill(M::default());
             self.full_resets += 1;
+            if METER {
+                self.unflushed_resets += 1;
+            }
         }
         self.cur = next;
     }
@@ -76,14 +93,23 @@ impl<S: Semiring, M: Marker> Accumulator<S> for DenseAccumulator<S, M> {
         if mark == M::from_epoch(self.cur + 1) {
             // already written this row: accumulate
             self.vals[j] = S::fma(self.vals[j], a, b);
+            if METER {
+                self.mask_hits += 1;
+            }
             true
         } else if mark == M::from_epoch(self.cur) {
             // in mask, first write
             self.marks[j] = M::from_epoch(self.cur + 1);
             self.vals[j] = S::mul(a, b);
+            if METER {
+                self.mask_hits += 1;
+            }
             true
         } else {
             // not in the mask: discard (Fig. 5 line 13)
+            if METER {
+                self.mask_misses += 1;
+            }
             false
         }
     }
@@ -126,6 +152,17 @@ impl<S: Semiring, M: Marker> Accumulator<S> for DenseAccumulator<S, M> {
     fn state_bytes(&self) -> usize {
         self.vals.len() * std::mem::size_of::<S::T>()
             + self.marks.len() * std::mem::size_of::<M>()
+    }
+
+    fn flush_metrics(&mut self) {
+        if METER {
+            obs::add(obs::Counter::AccumDenseFullResets, self.unflushed_resets);
+            obs::add(obs::Counter::AccumMaskHits, self.mask_hits);
+            obs::add(obs::Counter::AccumMaskMisses, self.mask_misses);
+            self.mask_hits = 0;
+            self.mask_misses = 0;
+            self.unflushed_resets = 0;
+        }
     }
 }
 
@@ -226,6 +263,39 @@ mod tests {
         let a64: DenseAccumulator<PlusTimes, u64> = DenseAccumulator::new(100);
         assert_eq!(a8.state_bytes(), 100 * 8 + 100);
         assert_eq!(a64.state_bytes(), 100 * 8 + 100 * 8);
+    }
+
+    #[test]
+    fn marker_boundary_cycles_stay_isolated_for_every_width() {
+        // pin the epoch just below each width's boundary and drive ≥ 2 full
+        // overflow-reset cycles, covering the exact rows where the written
+        // epoch equals MAX_EPOCH and where the reset restarts at 2 — the
+        // rows the old additive overflow check got wrong for u64
+        fn cycle<M: Marker>() {
+            let mut acc: DenseAccumulator<PlusTimes, M> = DenseAccumulator::new(4);
+            for cycle in 0..2 {
+                acc.cur = M::MAX_EPOCH - 5;
+                let resets_before = acc.full_resets();
+                for row in 0..4u64 {
+                    acc.begin_row();
+                    acc.set_mask(1);
+                    acc.set_mask(3);
+                    assert!(acc.accumulate_masked(1, row as f64 + 1.0, 2.0));
+                    assert_eq!(acc.written(1), Some((row as f64 + 1.0) * 2.0));
+                    // slot 3 is in-mask but unwritten; slot 0 out-of-mask
+                    assert_eq!(acc.written(3), None, "cycle {cycle} row {row}");
+                    assert!(!acc.accumulate_masked(0, 1.0, 1.0));
+                }
+                // rows at epochs MAX-3, MAX-1, then reset → 2, 4
+                assert_eq!(acc.full_resets(), resets_before + 1, "{} bits", M::BITS);
+                assert_eq!(acc.cur, 4, "{} bits", M::BITS);
+            }
+            assert_eq!(acc.full_resets(), 2);
+        }
+        cycle::<u8>();
+        cycle::<u16>();
+        cycle::<u32>();
+        cycle::<u64>();
     }
 
     #[test]

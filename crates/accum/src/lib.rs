@@ -86,6 +86,13 @@ pub trait Accumulator<S: Semiring>: Send {
     /// Approximate resident state size in bytes — the quantity the paper's
     /// Fig. 13 experiment trades against reset frequency.
     fn state_bytes(&self) -> usize;
+
+    /// Fold any instance-local observability scratch into the global
+    /// `mspgemm_rt::obs` registry and clear it. Called by the driver once
+    /// per tile (never per row), so implementations may keep hot-path
+    /// counters as plain integers. The default is a no-op for accumulators
+    /// that record nothing.
+    fn flush_metrics(&mut self) {}
 }
 
 /// Runtime selection of the accumulator family and marker width — what the

@@ -78,13 +78,18 @@ impl MarkerWidth {
 /// required.
 #[inline]
 pub fn advance_epoch<M: Marker>(cur: u64) -> (u64, bool) {
-    let next = cur + 2;
-    if next + 1 > M::MAX_EPOCH {
+    // Overflow iff `cur + 3` (the next row's "written" epoch) no longer
+    // fits the marker. Compared subtraction-side: the additive form
+    // `next + 1 > MAX_EPOCH` wraps at the u64 boundary, so for 64-bit
+    // markers the check itself overflowed exactly when it mattered
+    // (`cur + 3 > u64::MAX` panics in debug, silently passes in release
+    // and hands out epoch 0 — aliasing freshly-zeroed marks).
+    if cur > M::MAX_EPOCH - 3 {
         // restart at 2 so that marker value 0 (the freshly-zeroed state)
         // can never alias a valid epoch
         (2, true)
     } else {
-        (next, false)
+        (cur + 2, false)
     }
 }
 
@@ -144,5 +149,28 @@ mod tests {
     fn u64_marker_never_overflows_in_practice() {
         let (_, reset) = advance_epoch::<u64>(1 << 40);
         assert!(!reset);
+    }
+
+    #[test]
+    fn epoch_boundary_is_exact_for_every_width() {
+        // for each width the largest even epoch is MAX_EPOCH - 1 (MAX is
+        // 2^b - 1, odd): its row still fits (written epoch == MAX), and
+        // the advance from it must reset — including u64, where the old
+        // additive check wrapped instead of firing
+        fn check<M: Marker>() {
+            let last = M::MAX_EPOCH - 1;
+            // the row before the boundary row advances without reset
+            let (next, reset) = advance_epoch::<M>(last - 2);
+            assert_eq!(next, last, "{} bits", M::BITS);
+            assert!(!reset, "{} bits: boundary row itself must fit", M::BITS);
+            // advancing off the boundary row resets to 2
+            let (next, reset) = advance_epoch::<M>(last);
+            assert_eq!(next, 2, "{} bits", M::BITS);
+            assert!(reset, "{} bits: epoch past MAX-1 must reset", M::BITS);
+        }
+        check::<u8>();
+        check::<u16>();
+        check::<u32>();
+        check::<u64>();
     }
 }

@@ -180,6 +180,12 @@ pub fn pct_within_of_best(times: &[Vec<f64>], slack: f64) -> Vec<f64> {
 /// Write a CSV file under `results/`, creating the directory if needed.
 /// Returns the path written. Used by every figure binary so downstream
 /// plotting is trivial.
+///
+/// Alongside each `<name>` CSV this also writes a machine-readable
+/// `BENCH_<stem>.json` twin (schema `mspgemm.bench/1`): same columns and
+/// rows, plus the `MSPGEMM_*` environment the sweep ran under, so results
+/// can be compared across runs without re-parsing CSV or guessing knobs.
+/// `mspgemm check-metrics --file results/BENCH_<stem>.json` validates it.
 pub fn write_csv(
     name: &str,
     header: &str,
@@ -195,7 +201,74 @@ pub fn write_csv(
         writeln!(f, "{row}")?;
     }
     f.flush()?;
+    let stem = name.strip_suffix(".csv").unwrap_or(name);
+    std::fs::write(dir.join(format!("BENCH_{stem}.json")), bench_json(stem, header, rows))?;
     Ok(path)
+}
+
+/// One CSV cell as a JSON value: numbers stay numbers, everything else
+/// becomes a (minimally escaped) string.
+fn json_cell(cell: &str) -> String {
+    let cell = cell.trim();
+    if let Ok(n) = cell.parse::<f64>() {
+        if n.is_finite() {
+            return cell.to_string();
+        }
+    }
+    let escaped: String = cell
+        .chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c => vec![c],
+        })
+        .collect();
+    format!("\"{escaped}\"")
+}
+
+/// Render the `mspgemm.bench/1` document for one CSV table.
+fn bench_json(stem: &str, header: &str, rows: &[String]) -> String {
+    let columns: Vec<&str> = header.split(',').collect();
+    let mut s = format!("{{\"schema\":\"mspgemm.bench/1\",\"name\":{}", json_cell(stem));
+    s.push_str(",\"columns\":[");
+    for (i, c) in columns.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        // column names are labels even when numeric-looking
+        s.push_str(&format!("\"{}\"", c.trim()));
+    }
+    s.push_str("],\"rows\":[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push('[');
+        // the figure binaries emit plain comma-separated rows (no quoted
+        // commas), so a naive split mirrors the CSV exactly
+        for (j, cell) in row.split(',').enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            s.push_str(&json_cell(cell));
+        }
+        s.push(']');
+    }
+    s.push_str("],\"env\":{");
+    let opts = HarnessOptions::from_env();
+    s.push_str(&format!(
+        "\"scale\":{},\"threads\":{},\"budget_ms\":{},\"max_iters\":{},\"report\":\"{}\"",
+        opts.scale,
+        opts.threads,
+        opts.budget.as_millis(),
+        opts.max_iters,
+        match std::env::var("MSPGEMM_REPORT").as_deref() {
+            Ok("mean") => "mean",
+            _ => "min",
+        }
+    ));
+    s.push_str("}}");
+    s
 }
 
 /// Tile-count grid for the Fig. 10/11 sweeps. The paper sweeps 64…32768
@@ -257,6 +330,33 @@ mod tests {
         assert!(s.iters >= 1 && s.iters <= 5);
         assert!(s.min <= s.mean);
         assert!(s.ms() > 0.0);
+    }
+
+    #[test]
+    fn csv_twin_is_valid_bench_json() {
+        let name = "test_twin_tmp.csv";
+        let path = write_csv(
+            name,
+            "graph,tiles,ms",
+            &["er \"dense\",64,1.25".to_string(), "road,128,0.5".to_string()],
+        )
+        .unwrap();
+        let twin = path.with_file_name("BENCH_test_twin_tmp.json");
+        let text = std::fs::read_to_string(&twin).unwrap();
+        let doc = mspgemm_rt::json::parse(&text).expect("twin must be valid JSON");
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("mspgemm.bench/1"));
+        assert_eq!(doc.get("name").unwrap().as_str(), Some("test_twin_tmp"));
+        let cols = doc.get("columns").unwrap().as_arr().unwrap();
+        assert_eq!(cols.len(), 3);
+        let rows = doc.get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 2);
+        let first = rows[0].as_arr().unwrap();
+        assert_eq!(first[0].as_str(), Some("er \"dense\""), "strings survive escaping");
+        assert_eq!(first[1].as_num(), Some(64.0), "numeric cells stay numbers");
+        assert_eq!(first[2].as_num(), Some(1.25));
+        assert!(doc.get("env").unwrap().get("budget_ms").unwrap().as_num().is_some());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&twin);
     }
 
     #[test]

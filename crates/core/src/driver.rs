@@ -28,12 +28,14 @@
 //! degradation observable.
 
 use crate::config::{Config, IterationSpace};
-use crate::kernels::{row_coiterate, row_hybrid, row_mask_accumulate, row_vanilla};
+use crate::kernels::{
+    row_coiterate, row_hybrid, row_mask_accumulate, row_vanilla, tally_row_hybrid, HybridStats,
+};
 use mspgemm_accum::{
     Accumulator, AccumulatorKind, DenseAccumulator, HashAccumulator, MarkerWidth,
     SortAccumulator,
 };
-use mspgemm_rt::failpoint;
+use mspgemm_rt::{failpoint, obs};
 use mspgemm_sched::{
     catch_tile_panic, run_tiles, tile::tiles_for, work::row_work, work::total_work, ExecError,
     ThreadReport, Tile,
@@ -46,11 +48,20 @@ use std::time::{Duration, Instant};
 /// Measurements from one driver invocation.
 #[derive(Clone, Debug)]
 pub struct RunStats {
-    /// Wall time of the parallel section (excludes work estimation and
-    /// tiling, matching how the paper times the kernel).
+    /// Wall time of the parallel section + stitch, **excluding** the
+    /// degraded serial retries (matching how the paper times the kernel:
+    /// a fault-recovery pass is not part of the measured configuration).
+    /// The retry window is reported separately in
+    /// [`retry_elapsed`](Self::retry_elapsed); end-to-end wall time is
+    /// [`total`](Self::total).
     pub elapsed: Duration,
     /// Wall time of the work-estimation + tiling prologue.
     pub setup: Duration,
+    /// Wall time of the degraded serial retry pass (zero when no tile
+    /// failed). Previously this window was silently folded into
+    /// [`elapsed`](Self::elapsed), so a run that recovered from faults
+    /// looked slower than the configuration it was measuring.
+    pub retry_elapsed: Duration,
     /// Per-thread execution reports (tiles run, busy time).
     pub thread_reports: Vec<ThreadReport>,
     /// Total Eq. 2 work estimate.
@@ -69,12 +80,21 @@ pub struct RunStats {
     /// [`SparseError::TileFailed`], so on the `Ok` path this always equals
     /// [`retried_tiles`](Self::retried_tiles)).
     pub failed_tiles: usize,
+    /// Counter/histogram deltas attributable to this run, present iff
+    /// metrics were armed (`MSPGEMM_METRICS` or [`obs::arm_metrics`]).
+    pub metrics: Option<obs::MetricsSnapshot>,
 }
 
 impl RunStats {
     /// `max(busy) / mean(busy)` over threads; 1.0 is perfect balance.
     pub fn imbalance(&self) -> f64 {
         mspgemm_sched::pool::imbalance(&self.thread_reports)
+    }
+
+    /// End-to-end wall time of the call:
+    /// `setup + elapsed + retry_elapsed`.
+    pub fn total(&self) -> Duration {
+        self.setup + self.elapsed + self.retry_elapsed
     }
 }
 
@@ -156,6 +176,10 @@ pub fn masked_spgemm_with_stats<S: Semiring>(
     };
     let setup = setup_start.elapsed();
 
+    let metrics_on = obs::armed();
+    let before = if metrics_on { Some(obs::snapshot()) } else { None };
+    obs::incr(obs::Counter::DriverRuns);
+
     let start = Instant::now();
     let (result, reports, retry) = dispatch_accumulator::<S>(
         a,
@@ -166,11 +190,15 @@ pub fn masked_spgemm_with_stats<S: Semiring>(
         n_threads,
         max_row_entries,
     )?;
-    let elapsed = start.elapsed();
+    // the degraded retry window is timed inside run_generic; subtract it
+    // so `elapsed` measures the configuration, not the recovery
+    let elapsed = start.elapsed().saturating_sub(retry.elapsed);
 
+    let metrics = before.map(|b| obs::snapshot().delta_since(&b));
     let stats = RunStats {
         elapsed,
         setup,
+        retry_elapsed: retry.elapsed,
         thread_reports: reports,
         estimated_work,
         output_nnz: result.nnz(),
@@ -178,6 +206,7 @@ pub fn masked_spgemm_with_stats<S: Semiring>(
         n_threads,
         retried_tiles: retry.recovered,
         failed_tiles: retry.failed,
+        metrics,
     };
     Ok((result, stats))
 }
@@ -189,10 +218,32 @@ struct RetryStats {
     failed: usize,
     /// Tiles recovered by the serial degraded retry.
     recovered: usize,
+    /// Wall time of the retry pass.
+    elapsed: Duration,
 }
 
-/// Monomorphise on the accumulator family × marker width.
+/// Monomorphise on the accumulator family × marker width — and on the
+/// metering flag: armed runs use the counting (`METER = true`)
+/// accumulator instantiations, unarmed runs compile to instantiations
+/// whose hot loops are instruction-identical to the uninstrumented
+/// baseline. Arming is checked once per driver call, never per element.
 fn dispatch_accumulator<S: Semiring>(
+    a: &Csr<S::T>,
+    b: &Csr<S::T>,
+    mask: &Csr<S::T>,
+    config: &Config,
+    tiles: &[Tile],
+    n_threads: usize,
+    max_row_entries: usize,
+) -> Result<(Csr<S::T>, Vec<ThreadReport>, RetryStats), SparseError> {
+    if obs::armed() {
+        dispatch_metered::<S, true>(a, b, mask, config, tiles, n_threads, max_row_entries)
+    } else {
+        dispatch_metered::<S, false>(a, b, mask, config, tiles, n_threads, max_row_entries)
+    }
+}
+
+fn dispatch_metered<S: Semiring, const METER: bool>(
     a: &Csr<S::T>,
     b: &Csr<S::T>,
     mask: &Csr<S::T>,
@@ -205,30 +256,30 @@ fn dispatch_accumulator<S: Semiring>(
     match config.accumulator {
         AccumulatorKind::Dense(w) => match w {
             MarkerWidth::W8 => run_generic::<S, _, _>(a, b, mask, config, tiles, n_threads, || {
-                DenseAccumulator::<S, u8>::new(ncols)
+                DenseAccumulator::<S, u8, METER>::new(ncols)
             }),
             MarkerWidth::W16 => run_generic::<S, _, _>(a, b, mask, config, tiles, n_threads, || {
-                DenseAccumulator::<S, u16>::new(ncols)
+                DenseAccumulator::<S, u16, METER>::new(ncols)
             }),
             MarkerWidth::W32 => run_generic::<S, _, _>(a, b, mask, config, tiles, n_threads, || {
-                DenseAccumulator::<S, u32>::new(ncols)
+                DenseAccumulator::<S, u32, METER>::new(ncols)
             }),
             MarkerWidth::W64 => run_generic::<S, _, _>(a, b, mask, config, tiles, n_threads, || {
-                DenseAccumulator::<S, u64>::new(ncols)
+                DenseAccumulator::<S, u64, METER>::new(ncols)
             }),
         },
         AccumulatorKind::Hash(w) => match w {
             MarkerWidth::W8 => run_generic::<S, _, _>(a, b, mask, config, tiles, n_threads, || {
-                HashAccumulator::<S, u8>::with_row_capacity(max_row_entries)
+                HashAccumulator::<S, u8, METER>::with_row_capacity(max_row_entries)
             }),
             MarkerWidth::W16 => run_generic::<S, _, _>(a, b, mask, config, tiles, n_threads, || {
-                HashAccumulator::<S, u16>::with_row_capacity(max_row_entries)
+                HashAccumulator::<S, u16, METER>::with_row_capacity(max_row_entries)
             }),
             MarkerWidth::W32 => run_generic::<S, _, _>(a, b, mask, config, tiles, n_threads, || {
-                HashAccumulator::<S, u32>::with_row_capacity(max_row_entries)
+                HashAccumulator::<S, u32, METER>::with_row_capacity(max_row_entries)
             }),
             MarkerWidth::W64 => run_generic::<S, _, _>(a, b, mask, config, tiles, n_threads, || {
-                HashAccumulator::<S, u64>::with_row_capacity(max_row_entries)
+                HashAccumulator::<S, u64, METER>::with_row_capacity(max_row_entries)
             }),
         },
         AccumulatorKind::Sort => run_generic::<S, _, _>(a, b, mask, config, tiles, n_threads, || {
@@ -249,6 +300,7 @@ fn compute_fragment<S, A>(
     b: &Csr<S::T>,
     mask: &Csr<S::T>,
     acc: &mut A,
+    hstats: &mut HybridStats,
 ) -> TileResult<S::T>
 where
     S: Semiring,
@@ -269,11 +321,21 @@ where
                 row_coiterate(i, a, b, mask_cols, acc, &mut cols, &mut vals)
             }
             IterationSpace::Hybrid { kappa } => {
-                row_hybrid(i, a, b, mask_cols, kappa, acc, &mut cols, &mut vals)
+                row_hybrid(i, a, b, mask_cols, kappa, acc, &mut cols, &mut vals);
+                // replay the Eq. 3 decisions (pure function of the same
+                // inputs) so the kernel itself stays uninstrumented
+                if hstats.on {
+                    tally_row_hybrid(i, a, b, mask_cols.len(), kappa, hstats);
+                }
             }
         }
         row_nnz.push((cols.len() - before) as u32);
     }
+    // fold this tile's instance-local tallies into the global registry —
+    // once per tile, outside the row loop, a no-op unless armed
+    acc.flush_metrics();
+    hstats.flush();
+    obs::add(obs::Counter::DriverTileOutputNnz, cols.len() as u64);
     TileResult { row_nnz, cols, vals }
 }
 
@@ -303,10 +365,11 @@ where
         n_threads,
         tiles.len(),
         config.schedule,
-        |_t| make_acc(),
-        |acc, tile_idx| {
+        |_t| (make_acc(), HybridStats::armed()),
+        |(acc, hstats), tile_idx| {
             failpoint::maybe_fire(failpoint::TILE_KERNEL, tile_idx as u64);
-            let frag = compute_fragment::<S, A>(tiles[tile_idx], iteration, a, b, mask, acc);
+            let frag =
+                compute_fragment::<S, A>(tiles[tile_idx], iteration, a, b, mask, acc, hstats);
             if results[tile_idx].set(frag).is_err() {
                 let mut guard = duplicate.lock().unwrap_or_else(|e| e.into_inner());
                 guard.get_or_insert(tile_idx);
@@ -331,7 +394,8 @@ where
         payloads.entry(f.tile).or_insert_with(|| f.payload.clone());
     }
     let missing: Vec<usize> = (0..tiles.len()).filter(|&i| results[i].get().is_none()).collect();
-    let mut retry = RetryStats { failed: missing.len(), recovered: 0 };
+    let mut retry = RetryStats { failed: missing.len(), ..RetryStats::default() };
+    let retry_start = (retry.failed > 0).then(Instant::now);
     for tile_idx in missing {
         let tile = tiles[tile_idx];
         // The failpoint key used in the parallel body is the tile index,
@@ -340,12 +404,22 @@ where
         // `accum-reset` site.
         let attempt = catch_tile_panic(|| {
             let mut acc = DenseAccumulator::<S, u64>::new(ncols);
-            compute_fragment::<S, _>(tile, IterationSpace::Vanilla, a, b, mask, &mut acc)
+            let mut hstats = HybridStats::armed();
+            compute_fragment::<S, _>(
+                tile,
+                IterationSpace::Vanilla,
+                a,
+                b,
+                mask,
+                &mut acc,
+                &mut hstats,
+            )
         });
         match attempt {
             Ok(frag) => {
                 let _ = results[tile_idx].set(frag);
                 retry.recovered += 1;
+                obs::incr(obs::Counter::DriverRetriedTiles);
             }
             Err(retry_msg) => {
                 let first = payloads
@@ -358,6 +432,9 @@ where
                 });
             }
         }
+    }
+    if let Some(s) = retry_start {
+        retry.elapsed = s.elapsed();
     }
 
     // --- stitch fragments (tiles are contiguous, in row order) ---
@@ -386,6 +463,7 @@ where
     let mut out_cols = Vec::with_capacity(nnz);
     let mut out_vals = Vec::with_capacity(nnz);
     let mut acc_nnz = 0usize;
+    let mut stitched_bytes = 0u64;
     for (idx, r) in results.iter().enumerate() {
         failpoint::maybe_fire(failpoint::FRAGMENT_STITCH, idx as u64);
         let Some(t) = r.get() else {
@@ -399,7 +477,10 @@ where
         }
         out_cols.extend_from_slice(&t.cols);
         out_vals.extend_from_slice(&t.vals);
+        stitched_bytes += (t.cols.len() * std::mem::size_of::<Idx>()
+            + t.vals.len() * std::mem::size_of::<S::T>()) as u64;
     }
+    obs::add(obs::Counter::DriverStitchBytes, stitched_bytes);
     if row_ptr.len() != nrows + 1 {
         return Err(SparseError::Internal {
             detail: format!(

@@ -9,7 +9,83 @@
 //! widths` into straight-line code.
 
 use mspgemm_accum::Accumulator;
+use mspgemm_rt::obs;
 use mspgemm_sparse::{Csr, Idx, Semiring};
+
+/// Per-thread tallies of the hybrid kernel's Eq. 3 decisions.
+///
+/// [`row_hybrid`] itself records nothing: its decision is a pure function
+/// of `(nnz(M[i,:]), nnz(B[k,:]), κ)`, so when metrics are armed the
+/// driver *replays* the decisions with [`tally_row_hybrid`] — exact, and
+/// the kernel hot path stays byte-identical to the uninstrumented build.
+/// Tallies fold into the global `obs` registry via
+/// [`flush`](HybridStats::flush), at most once per tile.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HybridStats {
+    /// Fetched B rows traversed by co-iteration (Fig. 9 lines 11-18).
+    pub coiterate: u64,
+    /// Fetched B rows traversed by linear saxpy scan (Fig. 9 lines 20-26).
+    pub saxpy: u64,
+    /// Modeled binary-search comparisons spent co-iterating:
+    /// `nnz(M[i,:]) · ⌈log₂ nnz(B[k,:])⌉` per co-iterated row — the very
+    /// quantity Eq. 3 prices, so the counter is comparable to `w_co`.
+    pub binsearch_steps: u64,
+    /// Whether the driver replays decisions at all; sampled from
+    /// [`obs::armed`] by [`armed`](Self::armed). `Default` leaves it off.
+    pub on: bool,
+}
+
+impl HybridStats {
+    /// Tallies gated on the *current* armed state — what the driver's
+    /// worker threads construct.
+    pub fn armed() -> Self {
+        HybridStats { on: obs::armed(), ..HybridStats::default() }
+    }
+
+    /// Fold the tallies into the global registry (no-op unless armed) and
+    /// zero them, preserving the recording flag.
+    pub fn flush(&mut self) {
+        obs::add(obs::Counter::KernelHybridCoiterate, self.coiterate);
+        obs::add(obs::Counter::KernelHybridSaxpy, self.saxpy);
+        obs::add(obs::Counter::KernelBinarySearchSteps, self.binsearch_steps);
+        *self = HybridStats { on: self.on, ..HybridStats::default() };
+    }
+
+    /// Total fetched-B-row decisions recorded.
+    pub fn decisions(&self) -> u64 {
+        self.coiterate + self.saxpy
+    }
+}
+
+/// Replay the Eq. 3 decisions [`row_hybrid`] takes for row `i` and add
+/// them to `stats`. The branch below must mirror the kernel's exactly;
+/// `metrics.rs` asserts the tallies against the driver's actual runs.
+#[cold]
+#[inline(never)]
+pub fn tally_row_hybrid<T: Copy>(
+    i: usize,
+    a: &Csr<T>,
+    b: &Csr<T>,
+    mask_nnz: usize,
+    kappa: f64,
+    stats: &mut HybridStats,
+) {
+    let m = mask_nnz as f64;
+    let (acols, _) = a.row(i);
+    for &k in acols {
+        let blen = b.row_nnz(k as usize);
+        if blen == 0 {
+            continue;
+        }
+        let lg = log2_ceil(blen);
+        if m * lg < kappa * blen as f64 {
+            stats.coiterate += 1;
+            stats.binsearch_steps += mask_nnz as u64 * lg as u64;
+        } else {
+            stats.saxpy += 1;
+        }
+    }
+}
 
 /// Fig. 3 — the vanilla kernel: accumulate **all** intermediate products,
 /// intersect with the mask only at the end.
@@ -175,7 +251,7 @@ mod tests {
     /// Run one kernel over all rows with a given accumulator and collect
     /// the output matrix.
     fn run_all<A: Accumulator<PlusTimes>>(
-        kernel: impl Fn(
+        mut kernel: impl FnMut(
             usize,
             &Csr<f64>,
             &Csr<f64>,
@@ -279,6 +355,19 @@ mod tests {
                 &mut acc,
             );
             assert_eq!(got, want, "kappa={kappa}");
+            // the replayed tallies agree: every decision lands on one side
+            let mut st = HybridStats::default();
+            for i in 0..a.nrows() {
+                tally_row_hybrid(i, &a, &a, mask.row_nnz(i), kappa, &mut st);
+            }
+            if kappa == 0.0 {
+                assert_eq!(st.coiterate, 0, "kappa=0 never co-iterates");
+                assert_eq!(st.binsearch_steps, 0);
+            } else {
+                assert_eq!(st.saxpy, 0, "kappa=inf never scans linearly");
+                assert!(st.binsearch_steps > 0);
+            }
+            assert!(st.decisions() > 0);
         }
     }
 
@@ -315,6 +404,27 @@ mod tests {
             ov: &mut Vec<f64>,
         ) {
             row_hybrid(i, a, b, m, 1.0, acc, oc, ov)
+        }
+    }
+
+    #[test]
+    fn hybrid_decisions_sum_to_nonempty_ik_pairs() {
+        // Eq. 3 consistency: one decision per (i, k) pair with a non-empty
+        // B[k,:], independent of which side wins
+        let a = lcg_matrix(25, 25, 4, 31);
+        let b = lcg_matrix(25, 25, 3, 32);
+        let mask = lcg_matrix(25, 25, 5, 33);
+        let expected: u64 = (0..25)
+            .map(|i| {
+                a.row(i).0.iter().filter(|&&k| b.row_nnz(k as usize) > 0).count() as u64
+            })
+            .sum();
+        for kappa in [0.0, 1.0, 8.0, f64::INFINITY] {
+            let mut st = HybridStats::default();
+            for i in 0..25 {
+                tally_row_hybrid(i, &a, &b, mask.row_nnz(i), kappa, &mut st);
+            }
+            assert_eq!(st.decisions(), expected, "kappa={kappa}");
         }
     }
 

@@ -194,6 +194,35 @@ fn fault_driver2d_propagates_tile_failures() {
 }
 
 #[test]
+fn fault_retry_window_is_timed_separately() {
+    // `RunStats::elapsed` measures the configuration under test; the
+    // degraded serial retry is accounted in `retry_elapsed` and only
+    // `total()` contains both
+    let a = lcg_matrix(64, 64, 5, 12);
+    let cfg = test_config();
+    with_failpoints("", || {
+        let (_, clean) = masked_spgemm_with_stats::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+        assert_eq!(clean.retry_elapsed, std::time::Duration::ZERO, "no faults, no retry window");
+        assert_eq!(clean.total(), clean.setup + clean.elapsed);
+
+        failpoint::arm("tile-kernel=panic@p:1.0").unwrap();
+        let (_, stats) = masked_spgemm_with_stats::<PlusTimes>(&a, &a, &a, &cfg)
+            .expect("retry recovers every tile");
+        assert_eq!(stats.retried_tiles, cfg.n_tiles);
+        assert!(
+            stats.retry_elapsed > std::time::Duration::ZERO,
+            "recomputing {} tiles serially must take measurable time",
+            cfg.n_tiles
+        );
+        assert_eq!(
+            stats.total(),
+            stats.setup + stats.elapsed + stats.retry_elapsed,
+            "total() folds the documented three windows"
+        );
+    });
+}
+
+#[test]
 fn fault_static_schedule_recovers_too() {
     let a = lcg_matrix(50, 50, 5, 11);
     let cfg = Config { schedule: Schedule::Static, ..test_config() };

@@ -1,0 +1,54 @@
+//! The zero-cost guarantee: with metrics unarmed, a full driver run leaves
+//! every global counter and histogram at zero and attaches no snapshot.
+//!
+//! This must be its own test binary: arming the `obs` registry is
+//! irreversible per process, so it cannot share a process with
+//! `metrics.rs` (which arms). If the suite is launched with
+//! `MSPGEMM_METRICS` set in the environment the premise is void and the
+//! tests pass vacuously.
+
+use mspgemm_core::{masked_spgemm_with_stats, Config};
+use mspgemm_rt::obs;
+use mspgemm_sparse::{Coo, Csr, PlusTimes};
+
+fn env_armed() -> bool {
+    std::env::var_os(obs::ENV_VAR).is_some() || std::env::var_os(obs::TRACE_ENV_VAR).is_some()
+}
+
+fn lcg_matrix(n: usize, per_row: usize, seed: u64) -> Csr<f64> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let mut coo = Coo::new(n, n);
+    for i in 0..n {
+        for _ in 0..per_row {
+            let j = next() % n;
+            coo.push(i, j, ((next() % 9) + 1) as f64);
+        }
+    }
+    coo.to_csr_with(|a, _| a)
+}
+
+#[test]
+fn unarmed_run_records_nothing() {
+    if env_armed() {
+        return;
+    }
+    let a = lcg_matrix(60, 5, 1);
+    let cfg = Config { n_threads: 2, n_tiles: 8, ..Config::default() };
+    let (c, stats) = masked_spgemm_with_stats::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+    assert!(c.nnz() > 0, "the run itself did real work");
+
+    assert!(!obs::armed(), "nothing in this binary arms metrics");
+    assert!(!obs::trace_armed());
+    assert!(stats.metrics.is_none(), "unarmed runs attach no snapshot");
+    let snap = obs::snapshot();
+    assert!(
+        snap.is_zero(),
+        "every global counter and histogram must still be zero: {}",
+        snap.to_json()
+    );
+    assert!(obs::take_trace().is_empty(), "no trace events either");
+}

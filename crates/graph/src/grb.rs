@@ -12,7 +12,7 @@
 //! and as the baseline for the fused-vs-two-step ablation bench.
 
 use mspgemm_core::{masked_spgemm, Config};
-use mspgemm_rt::par;
+use mspgemm_rt::{obs, par};
 use mspgemm_sparse::ops::ewise_mult;
 use mspgemm_sparse::{Csr, Idx, Semiring, SparseError};
 
@@ -38,6 +38,7 @@ pub fn masked_mxm<S: Semiring>(
     b: &Csr<S::T>,
     config: &Config,
 ) -> Result<Csr<S::T>, SparseError> {
+    obs::incr(obs::Counter::GrbMxmMasked);
     masked_spgemm::<S>(a, b, mask, config)
 }
 
@@ -56,6 +57,7 @@ pub fn spgemm_unmasked<S: Semiring>(
             context: "spgemm_unmasked: inner dimension",
         });
     }
+    obs::incr(obs::Counter::GrbMxmUnmasked);
     let n = b.ncols();
     // one row at a time, parallel over rows; each worker owns its scratch
     let rows: Vec<(Vec<Idx>, Vec<S::T>)> = par::map_with(

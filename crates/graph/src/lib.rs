@@ -37,4 +37,6 @@ pub use cc::{connected_components, CcResult};
 pub use grb::{masked_mxm, masked_mxm_complemented, mxm, spgemm_symbolic, spgemm_unmasked};
 pub use ktruss::{ktruss, KTrussResult};
 pub use pagerank::{pagerank, PageRankOptions, PageRankResult};
-pub use triangles::{count_triangles, count_triangles_ll, triangle_support};
+pub use triangles::{
+    count_triangles, count_triangles_ll, count_triangles_with_stats, triangle_support,
+};

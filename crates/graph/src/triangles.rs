@@ -14,18 +14,29 @@
 //! masked-SpGEMM primitive.
 
 use crate::grb::masked_mxm;
-use mspgemm_core::Config;
+use mspgemm_core::{masked_spgemm_with_stats, Config, RunStats};
+use mspgemm_rt::obs;
 use mspgemm_sparse::csr::reduce_values;
 use mspgemm_sparse::{Csr, PlusPair, SparseError};
 
 /// Count triangles of a symmetric, loop-free boolean adjacency matrix via
 /// `C = A ⊙ (A × A)`; returns `Σ C / 6`.
 pub fn count_triangles<T: Copy>(a: &Csr<T>, config: &Config) -> Result<u64, SparseError> {
+    count_triangles_with_stats(a, config).map(|(t, _)| t)
+}
+
+/// [`count_triangles`] plus the driver's [`RunStats`] for the masked
+/// product — what the CLI's `--metrics` report is built from.
+pub fn count_triangles_with_stats<T: Copy>(
+    a: &Csr<T>,
+    config: &Config,
+) -> Result<(u64, RunStats), SparseError> {
+    obs::incr(obs::Counter::GrbMxmMasked);
     let ap = a.spones(1u64);
-    let c = masked_mxm::<PlusPair>(&ap, &ap, &ap, config)?;
+    let (c, stats) = masked_spgemm_with_stats::<PlusPair>(&ap, &ap, &ap, config)?;
     let total = reduce_values(&c, 0u64, |acc, v| acc + v);
     debug_assert_eq!(total % 6, 0, "Σ C must be divisible by 6 for symmetric A");
-    Ok(total / 6)
+    Ok((total / 6, stats))
 }
 
 /// Count triangles via the lower-triangular formulation

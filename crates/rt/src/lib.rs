@@ -16,8 +16,16 @@
 //!   shrinking, replacing the three `proptest` suites.
 //! * [`failpoint`] — deterministic fault injection (named sites armed via
 //!   `MSPGEMM_FAILPOINTS`), a zero-cost no-op when unarmed.
+//! * [`obs`] — observability: a global counter/histogram registry armed
+//!   via `MSPGEMM_METRICS` (zero-cost no-op otherwise, same pattern as
+//!   [`failpoint`]), span timers and a chrome://tracing event sink armed
+//!   via `MSPGEMM_TRACE`.
+//! * [`json`] — a minimal JSON reader used to validate the
+//!   machine-readable run reports the CLI and benches emit.
 
 pub mod failpoint;
+pub mod json;
+pub mod obs;
 pub mod par;
 pub mod rng;
 pub mod testkit;

@@ -35,6 +35,34 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, Once};
 use std::time::{Duration, Instant};
 
+use mspgemm_rt::obs;
+
+/// Per-worker observability scratch: plain integers bumped on the worker's
+/// own stack and folded into the global `obs` registry once, when the
+/// worker exits. Unarmed runs skip even these (see `metrics_on` below), so
+/// the scheduling loops stay free of atomic traffic either way.
+#[derive(Default)]
+struct ObsScratch {
+    started: u64,
+    completed: u64,
+    failed: u64,
+    claims: u64,
+    claim_ns: obs::LocalHist,
+    tile_us: obs::LocalHist,
+}
+
+impl ObsScratch {
+    fn flush(&mut self, busy: Duration) {
+        obs::add(obs::Counter::SchedTilesStarted, self.started);
+        obs::add(obs::Counter::SchedTilesCompleted, self.completed);
+        obs::add(obs::Counter::SchedTilesFailed, self.failed);
+        obs::add(obs::Counter::SchedQueueClaims, self.claims);
+        self.claim_ns.flush_into(obs::Hist::ClaimLatencyNs);
+        self.tile_us.flush_into(obs::Hist::TileElapsedUs);
+        obs::record(obs::Hist::ThreadBusyUs, busy.as_micros() as u64);
+    }
+}
+
 /// The scheduling policy axis of the Fig. 10/11 sweeps.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Schedule {
@@ -220,11 +248,17 @@ where
             handles.push(scope.spawn(move || {
                 let mut state: Option<W> = None;
                 let mut report = ThreadReport::default();
+                // armed-state sampled once per worker: the per-tile cost of
+                // observability is one predictable branch on a local bool
+                let metrics_on = obs::armed();
+                let trace_on = obs::trace_armed();
+                let mut scratch = ObsScratch::default();
                 // Run one claimed range of tiles; returns false when the
                 // worker's state is unrecoverable (remaining tiles of the
                 // range are recorded as failures) so callers stop claiming.
                 let run_range = |state: &mut Option<W>,
                                      report: &mut ThreadReport,
+                                     scratch: &mut ObsScratch,
                                      lo: usize,
                                      hi: usize|
                  -> bool {
@@ -235,6 +269,7 @@ where
                                 Err(msg) => {
                                     for lost in tile..hi {
                                         report.tiles_failed += 1;
+                                        scratch.failed += 1;
                                         record(
                                             lost,
                                             format!("worker state init: {msg}"),
@@ -246,14 +281,33 @@ where
                             }
                         }
                         let Some(w) = state.as_mut() else { return false };
+                        let ts_us = if trace_on { obs::now_us() } else { 0 };
                         let start = Instant::now();
+                        if metrics_on {
+                            scratch.started += 1;
+                        }
                         match catch_tile_panic(|| body(w, tile)) {
                             Ok(()) => {
-                                report.busy += start.elapsed();
+                                let elapsed = start.elapsed();
+                                report.busy += elapsed;
                                 report.tiles_run += 1;
+                                if metrics_on {
+                                    scratch.completed += 1;
+                                    scratch.tile_us.record(elapsed.as_micros() as u64);
+                                }
+                                if trace_on {
+                                    obs::complete_event(
+                                        "tile",
+                                        tile as u64,
+                                        t as u64,
+                                        ts_us,
+                                        elapsed.as_micros() as u64,
+                                    );
+                                }
                             }
                             Err(msg) => {
                                 report.tiles_failed += 1;
+                                scratch.failed += 1;
                                 record(tile, msg, start.elapsed());
                                 // scratch may be mid-update; rebuild lazily
                                 *state = None;
@@ -264,22 +318,28 @@ where
                 };
                 match schedule {
                     Schedule::Static => {
-                        // contiguous block, same arithmetic as uniform tiling
+                        // contiguous blocks, same arithmetic as uniform tiling
                         let base = n_tiles / n_threads;
                         let extra = n_tiles % n_threads;
                         let lo = t * base + t.min(extra);
                         let len = base + usize::from(t < extra);
-                        run_range(&mut state, &mut report, lo, lo + len);
+                        run_range(&mut state, &mut report, &mut scratch, lo, lo + len);
                     }
                     Schedule::Dynamic { chunk } => {
                         let chunk = chunk.max(1);
                         loop {
+                            let claim_start =
+                                if metrics_on { Some(Instant::now()) } else { None };
                             let lo = queue.fetch_add(chunk, Ordering::Relaxed);
+                            if let Some(s) = claim_start {
+                                scratch.claims += 1;
+                                scratch.claim_ns.record(s.elapsed().as_nanos() as u64);
+                            }
                             if lo >= n_tiles {
                                 break;
                             }
                             let hi = (lo + chunk).min(n_tiles);
-                            if !run_range(&mut state, &mut report, lo, hi) {
+                            if !run_range(&mut state, &mut report, &mut scratch, lo, hi) {
                                 break;
                             }
                         }
@@ -287,6 +347,8 @@ where
                     Schedule::Guided { chunk } => {
                         let chunk = chunk.max(1);
                         loop {
+                            let claim_start =
+                                if metrics_on { Some(Instant::now()) } else { None };
                             // CAS loop: grab size depends on how much is left
                             let lo = loop {
                                 let cur = queue.load(Ordering::Relaxed);
@@ -305,17 +367,24 @@ where
                                     Err(_) => continue,
                                 }
                             };
+                            if let Some(s) = claim_start {
+                                scratch.claims += 1;
+                                scratch.claim_ns.record(s.elapsed().as_nanos() as u64);
+                            }
                             if lo == usize::MAX {
                                 break;
                             }
                             let remaining = n_tiles - lo;
                             let grab = (remaining / (2 * n_threads)).max(chunk);
                             let hi = (lo + grab).min(n_tiles);
-                            if !run_range(&mut state, &mut report, lo, hi) {
+                            if !run_range(&mut state, &mut report, &mut scratch, lo, hi) {
                                 break;
                             }
                         }
                     }
+                }
+                if metrics_on {
+                    scratch.flush(report.busy);
                 }
                 report
             }));

@@ -54,6 +54,35 @@ echo "== fault-injection pass (pinned seed) =="
 MSPGEMM_FAILPOINTS='tile-kernel=panic@p:0.05,seed:42' \
     cargo test -q -p mspgemm-core --offline fault_
 
+echo "== metrics pass (armed run + self-validation) =="
+# The CLI must produce a schema-valid mspgemm.run/1 report and a chrome
+# trace with --metrics/--trace armed, and must validate its own output
+# with the in-tree JSON parser (check-metrics exits non-zero otherwise).
+obs_dir=$(mktemp -d)
+trap 'rm -rf "$obs_dir"' EXIT
+target/release/mspgemm tc --graph GAP-road --scale 0.1 \
+    --tiles 32 --threads 4 \
+    --metrics "$obs_dir/run.json" --trace "$obs_dir/run.trace.json"
+target/release/mspgemm check-metrics --file "$obs_dir/run.json"
+# the trace is bare chrome://tracing JSON: non-empty, starts as an array
+head -c1 "$obs_dir/run.trace.json" | grep -q '\[' || {
+    echo "FAIL: trace file is not a JSON array" >&2; exit 1; }
+echo "ok: armed run emits schema-valid metrics and a trace"
+
+echo "== zero-cost metrics grep gate =="
+# The observability design keeps atomics out of the hot loops: counters
+# are bumped in plain instance-local scratch and flushed once per tile.
+# Accumulator and kernel sources must therefore never touch an atomic or
+# the global registry's fetch path directly.
+hits=$(grep -n 'AtomicU64\|AtomicUsize\|fetch_add' \
+    crates/accum/src/*.rs crates/core/src/kernels.rs || true)
+if [ -n "$hits" ]; then
+    echo "FAIL: atomic counter traffic in a hot-loop file:" >&2
+    echo "$hits" >&2
+    exit 1
+fi
+echo "ok: accumulators and kernels are atomics-free"
+
 echo "== panic-hygiene grep gate =="
 # Non-test code of the pool and the driver must stay free of
 # .unwrap()/.expect(/panic! — panic isolation is only as good as the code

@@ -12,12 +12,14 @@
 //! booleanised) or `--graph <name>` (a synthetic Table I stand-in from
 //! `mspgemm-gen`, sized by `--scale`).
 
+use masked_spgemm_repro::core::RunStats;
 use masked_spgemm_repro::prelude::*;
+use masked_spgemm_repro::rt::{json, obs};
 use mspgemm_sparse::stats::MatrixStats;
 use mspgemm_sparse::SparseError;
 use std::collections::HashMap;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Unwrap an execution result or exit 1 with the structured error — the
 /// library degrades/reports instead of panicking, and so does the CLI.
@@ -31,9 +33,180 @@ fn or_die<T>(r: Result<T, SparseError>) -> T {
     }
 }
 
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Arm the global registries for any observability flags present. Must
+/// happen before the measured run (arming is sticky for the process).
+fn arm_observability(flags: &HashMap<String, String>) {
+    if flags.contains_key("metrics") {
+        obs::arm_metrics();
+    }
+    if flags.contains_key("trace") {
+        obs::arm_trace();
+    }
+}
+
+/// Render a `mspgemm.run/1` report: timing windows, load balance,
+/// per-thread accounting, and the counter/histogram delta for the run.
+fn run_report_json(command: &str, cfg: &Config, stats: &RunStats, extra: &[(&str, u64)]) -> String {
+    let mut s = format!(
+        "{{\"schema\":\"mspgemm.run/1\",\"command\":\"{command}\",\"config\":\"{}\"",
+        cfg.label()
+    );
+    for (k, v) in extra {
+        s.push_str(&format!(",\"{k}\":{v}"));
+    }
+    s.push_str(&format!(
+        ",\"elapsed_ms\":{:.3},\"setup_ms\":{:.3},\"retry_elapsed_ms\":{:.3},\"total_ms\":{:.3}",
+        ms(stats.elapsed),
+        ms(stats.setup),
+        ms(stats.retry_elapsed),
+        ms(stats.total())
+    ));
+    s.push_str(&format!(
+        ",\"output_nnz\":{},\"n_tiles\":{},\"n_threads\":{},\"imbalance\":{:.4}",
+        stats.output_nnz, stats.n_tiles, stats.n_threads, stats.imbalance()
+    ));
+    s.push_str(&format!(
+        ",\"failed_tiles\":{},\"retried_tiles\":{}",
+        stats.failed_tiles, stats.retried_tiles
+    ));
+    s.push_str(",\"threads\":[");
+    for (i, t) in stats.thread_reports.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"tiles_run\":{},\"tiles_failed\":{},\"busy_ms\":{:.3}}}",
+            t.tiles_run,
+            t.tiles_failed,
+            ms(t.busy)
+        ));
+    }
+    s.push(']');
+    s.push(',');
+    match &stats.metrics {
+        Some(m) => s.push_str(&m.to_json_fragment()),
+        // defensive: --metrics always arms before the run, so this arm
+        // only fires if report emission is requested some other way
+        None => s.push_str(&obs::snapshot().to_json_fragment()),
+    }
+    s.push('}');
+    s
+}
+
+/// Write the report and/or chrome trace named by `--metrics` / `--trace`.
+fn emit_observability(flags: &HashMap<String, String>, command: &str, cfg: &Config, stats: &RunStats, extra: &[(&str, u64)]) {
+    if let Some(path) = flags.get("metrics") {
+        let doc = run_report_json(command, cfg, stats, extra);
+        if let Err(e) = std::fs::write(path, &doc) {
+            eprintln!("mspgemm: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("metrics report: {path}");
+    }
+    if let Some(path) = flags.get("trace") {
+        let events = obs::take_trace();
+        if let Err(e) = std::fs::write(path, obs::trace_to_chrome_json(&events)) {
+            eprintln!("mspgemm: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("trace ({} events): {path}", events.len());
+    }
+}
+
+/// Structural validation for the three JSON schemas this repo emits.
+/// Returns the schema name so the caller can report what it checked.
+fn check_metrics_doc(doc: &json::Value) -> Result<String, String> {
+    let schema = doc
+        .get("schema")
+        .and_then(|v| v.as_str())
+        .ok_or("missing string field \"schema\"")?
+        .to_string();
+    let require_num = |key: &str| -> Result<(), String> {
+        doc.get(key)
+            .and_then(|v| v.as_num())
+            .map(|_| ())
+            .ok_or(format!("missing numeric field {key:?}"))
+    };
+    let check_registry = || -> Result<(), String> {
+        let counters =
+            doc.get("counters").and_then(|v| v.as_obj()).ok_or("missing object \"counters\"")?;
+        if counters.is_empty() {
+            return Err("\"counters\" is empty — the catalogue is schema-stable".into());
+        }
+        for (name, v) in counters {
+            v.as_num().ok_or(format!("counter {name:?} is not a number"))?;
+        }
+        let hists = doc
+            .get("histograms")
+            .and_then(|v| v.as_obj())
+            .ok_or("missing object \"histograms\"")?;
+        for (name, v) in hists {
+            let buckets = v.as_arr().ok_or(format!("histogram {name:?} is not an array"))?;
+            if buckets.len() != obs::HIST_BUCKETS {
+                return Err(format!(
+                    "histogram {name:?} has {} buckets, expected {}",
+                    buckets.len(),
+                    obs::HIST_BUCKETS
+                ));
+            }
+            for b in buckets {
+                b.as_num().ok_or(format!("histogram {name:?} has a non-numeric bucket"))?;
+            }
+        }
+        Ok(())
+    };
+    match schema.as_str() {
+        "mspgemm.run/1" => {
+            for key in [
+                "elapsed_ms",
+                "setup_ms",
+                "retry_elapsed_ms",
+                "total_ms",
+                "output_nnz",
+                "n_tiles",
+                "n_threads",
+                "imbalance",
+            ] {
+                require_num(key)?;
+            }
+            let threads =
+                doc.get("threads").and_then(|v| v.as_arr()).ok_or("missing array \"threads\"")?;
+            for t in threads {
+                t.get("busy_ms")
+                    .and_then(|v| v.as_num())
+                    .ok_or("thread entry missing numeric \"busy_ms\"")?;
+            }
+            check_registry()?;
+        }
+        "mspgemm.metrics/1" => check_registry()?,
+        "mspgemm.bench/1" => {
+            doc.get("name").and_then(|v| v.as_str()).ok_or("missing string \"name\"")?;
+            let columns =
+                doc.get("columns").and_then(|v| v.as_arr()).ok_or("missing array \"columns\"")?;
+            let rows = doc.get("rows").and_then(|v| v.as_arr()).ok_or("missing array \"rows\"")?;
+            for r in rows {
+                let row = r.as_arr().ok_or("\"rows\" entry is not an array")?;
+                if row.len() != columns.len() {
+                    return Err(format!(
+                        "row width {} does not match {} columns",
+                        row.len(),
+                        columns.len()
+                    ));
+                }
+            }
+        }
+        other => return Err(format!("unknown schema {other:?}")),
+    }
+    Ok(schema)
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: mspgemm <tc|run|tune|predict|stats> [options]\n\
+        "usage: mspgemm <tc|run|tune|predict|stats|check-metrics> [options]\n\
          \n\
          input (one of):\n\
            --mtx <file>        Matrix Market file (symmetrised, boolean)\n\
@@ -49,7 +222,14 @@ fn usage() -> ! {
            --iter <vanilla|mask|coiter|hybrid>     (default hybrid)\n\
            --kappa <f>         co-iteration factor (default 1.0)\n\
            --bands <n>         2-D tiling column bands (default 1)\n\
-           --reps <n>          timing repetitions (default 3)"
+           --reps <n>          timing repetitions (default 3)\n\
+         \n\
+         observability (run/tc):\n\
+           --metrics <file>    arm counters, write a mspgemm.run/1 JSON report\n\
+           --trace <file>      arm spans, write a chrome://tracing JSON file\n\
+         \n\
+         check-metrics:\n\
+           --file <path>       validate a mspgemm.{{run,metrics,bench}}/1 document"
     );
     std::process::exit(2);
 }
@@ -184,9 +364,11 @@ fn main() -> ExitCode {
         "tc" => {
             let a = load_graph(&flags);
             let cfg = parse_config(&flags);
+            arm_observability(&flags);
             let t0 = Instant::now();
-            let t = or_die(count_triangles(&a, &cfg));
+            let (t, stats) = or_die(count_triangles_with_stats(&a, &cfg));
             println!("triangles: {t}  ({:.1} ms)", t0.elapsed().as_secs_f64() * 1e3);
+            emit_observability(&flags, "tc", &cfg, &stats, &[("triangles", t)]);
         }
         "run" => {
             let a = load_graph(&flags);
@@ -196,6 +378,8 @@ fn main() -> ExitCode {
             let reps: usize =
                 flags.get("reps").map(|r| r.parse().expect("bad --reps")).unwrap_or(3);
             println!("config: {} | bands {bands}", cfg.label());
+            arm_observability(&flags);
+            let mut last_stats: Option<RunStats> = None;
             for rep in 0..reps {
                 if bands > 1 {
                     let t0 = Instant::now();
@@ -215,7 +399,15 @@ fn main() -> ExitCode {
                         c.nnz(),
                         stats.imbalance()
                     );
+                    last_stats = Some(stats);
                 }
+            }
+            // the report covers the final repetition (warmed caches)
+            if let Some(stats) = last_stats {
+                emit_observability(&flags, "run", &cfg, &stats, &[]);
+            } else if flags.contains_key("metrics") || flags.contains_key("trace") {
+                eprintln!("mspgemm: --metrics/--trace need the 1-band driver (bands 1)");
+                std::process::exit(1);
             }
         }
         "tune" => {
@@ -241,6 +433,27 @@ fn main() -> ExitCode {
             let (_, stats) =
                 or_die(masked_spgemm_with_stats::<PlusPair>(&a, &a, &a, &p.config));
             println!("measured: {:.2} ms", stats.elapsed.as_secs_f64() * 1e3);
+        }
+        "check-metrics" => {
+            let Some(path) = flags.get("file") else {
+                eprintln!("check-metrics needs --file <path>");
+                usage();
+            };
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("mspgemm: cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            let doc = json::parse(&text).unwrap_or_else(|e| {
+                eprintln!("mspgemm: {path}: invalid JSON: {e}");
+                std::process::exit(1);
+            });
+            match check_metrics_doc(&doc) {
+                Ok(schema) => println!("{path}: valid {schema}"),
+                Err(why) => {
+                    eprintln!("mspgemm: {path}: {why}");
+                    std::process::exit(1);
+                }
+            }
         }
         other => {
             eprintln!("unknown command {other:?}");

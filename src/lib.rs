@@ -21,6 +21,7 @@ pub use mspgemm_accum as accum;
 pub use mspgemm_core as core;
 pub use mspgemm_gen as gen;
 pub use mspgemm_graph as graph;
+pub use mspgemm_rt as rt;
 pub use mspgemm_sched as sched;
 pub use mspgemm_sparse as sparse;
 
@@ -35,9 +36,9 @@ pub mod prelude {
     pub use mspgemm_gen::{er, rmat, road, suite_graph, suite_specs, web, GraphKind};
     pub use mspgemm_graph::{
         bfs_levels, bfs_levels_multi, betweenness_centrality, clustering_coefficients,
-        connected_components, count_triangles, count_triangles_ll, ktruss, masked_mxm,
-        masked_mxm_complemented, maximal_independent_set, mxm, mxm_desc, pagerank, triangles,
-        Descriptor, PageRankOptions,
+        connected_components, count_triangles, count_triangles_ll, count_triangles_with_stats,
+        ktruss, masked_mxm, masked_mxm_complemented, maximal_independent_set, mxm, mxm_desc,
+        pagerank, triangles, Descriptor, PageRankOptions,
     };
     pub use mspgemm_sched::{Schedule, TilingStrategy};
     pub use mspgemm_sparse::{
