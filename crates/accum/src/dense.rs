@@ -135,12 +135,11 @@ impl<S: Semiring, M: Marker, const METER: bool> Accumulator<S> for DenseAccumula
         }
     }
 
-    fn gather(&mut self, mask_cols: &[Idx], out_cols: &mut Vec<Idx>, out_vals: &mut Vec<S::T>) {
+    fn gather_into<W: crate::RowSink<S::T> + ?Sized>(&mut self, mask_cols: &[Idx], out: &mut W) {
         let written = M::from_epoch(self.cur + 1);
         for &j in mask_cols {
             if self.marks[j as usize] == written {
-                out_cols.push(j);
-                out_vals.push(self.vals[j as usize]);
+                out.push(j, self.vals[j as usize]);
             }
         }
     }

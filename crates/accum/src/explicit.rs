@@ -108,11 +108,10 @@ impl<S: Semiring> Accumulator<S> for DenseExplicitReset<S> {
         }
     }
 
-    fn gather(&mut self, mask_cols: &[Idx], out_cols: &mut Vec<Idx>, out_vals: &mut Vec<S::T>) {
+    fn gather_into<W: crate::RowSink<S::T> + ?Sized>(&mut self, mask_cols: &[Idx], out: &mut W) {
         for &j in mask_cols {
             if self.state[j as usize] == WRITTEN {
-                out_cols.push(j);
-                out_vals.push(self.vals[j as usize]);
+                out.push(j, self.vals[j as usize]);
             }
         }
     }

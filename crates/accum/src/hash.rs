@@ -223,12 +223,11 @@ impl<S: Semiring, M: Marker, const METER: bool> Accumulator<S> for HashAccumulat
         }
     }
 
-    fn gather(&mut self, mask_cols: &[Idx], out_cols: &mut Vec<Idx>, out_vals: &mut Vec<S::T>) {
+    fn gather_into<W: crate::RowSink<S::T> + ?Sized>(&mut self, mask_cols: &[Idx], out: &mut W) {
         for &j in mask_cols {
             let (s, found) = self.probe_noted(j);
             if found && self.marks[s] == M::from_epoch(self.cur + 1) {
-                out_cols.push(j);
-                out_vals.push(self.vals[s]);
+                out.push(j, self.vals[s]);
             }
         }
     }

@@ -29,12 +29,14 @@ pub mod dense;
 pub mod explicit;
 pub mod hash;
 pub mod marker;
+pub mod sink;
 pub mod sort;
 
 pub use dense::DenseAccumulator;
 pub use explicit::DenseExplicitReset;
 pub use hash::HashAccumulator;
 pub use marker::{Marker, MarkerWidth};
+pub use sink::{RowSink, SlotSink, VecSink};
 pub use sort::SortAccumulator;
 
 use mspgemm_sparse::{Idx, Semiring};
@@ -73,11 +75,20 @@ pub trait Accumulator<S: Semiring>: Send {
     /// The value written to `j` this row, if any.
     fn written(&self, j: Idx) -> Option<S::T>;
 
-    /// Append, in order, each `j ∈ mask_cols` that was written this row
-    /// (together with its value) to `out_cols` / `out_vals`. This performs
-    /// the mask intersection for the vanilla kernel and the final gather
-    /// (`C[i,:] = acc.gather()`) for all kernels.
-    fn gather(&mut self, mask_cols: &[Idx], out_cols: &mut Vec<Idx>, out_vals: &mut Vec<S::T>);
+    /// Emit, in order, each `j ∈ mask_cols` that was written this row
+    /// (together with its value) into `out`. This performs the mask
+    /// intersection for the vanilla kernel and the final gather
+    /// (`C[i,:] = acc.gather()`) for all kernels. The sink decides where
+    /// the row lands: growable `Vec`s ([`VecSink`]) for the legacy
+    /// fragment path, or a preallocated mask-bounded slot ([`SlotSink`])
+    /// for in-place assembly.
+    fn gather_into<W: RowSink<S::T> + ?Sized>(&mut self, mask_cols: &[Idx], out: &mut W);
+
+    /// Convenience wrapper over [`gather_into`](Self::gather_into) that
+    /// appends to a pair of `Vec`s.
+    fn gather(&mut self, mask_cols: &[Idx], out_cols: &mut Vec<Idx>, out_vals: &mut Vec<S::T>) {
+        self.gather_into(mask_cols, &mut VecSink { cols: out_cols, vals: out_vals });
+    }
 
     /// How many times the whole state array had to be reset because the
     /// epoch marker overflowed (always 0 for 64-bit markers in practice).

@@ -1,0 +1,131 @@
+//! Row output sinks — where a gathered output row lands.
+//!
+//! Kernels emit each surviving `(column, value)` pair of `C[i,:]` through a
+//! [`RowSink`] instead of pushing into concrete `Vec`s, so the same
+//! monomorphised kernel serves two assembly strategies:
+//!
+//! * [`VecSink`] — growable buffers, used by the legacy fragment-then-stitch
+//!   path (and by tests that want plain `Vec`s);
+//! * [`SlotSink`] — a cursor over a *preallocated* slot slice. The driver
+//!   sizes row `i`'s slot as `[mask.row_ptr[i], mask.row_ptr[i+1])`, which
+//!   is a hard bound: every gathered entry is a mask entry, so
+//!   `nnz(C[i,:]) ≤ nnz(M[i,:])`. Writing through a `SlotSink` therefore
+//!   never allocates and never overflows on well-formed inputs; a violated
+//!   bound (a buggy accumulator emitting a non-mask column twice) lands on
+//!   the slice bounds check and unwinds into the driver's panic isolation.
+
+use mspgemm_sparse::Idx;
+
+/// Destination for one output row's `(column, value)` pairs, emitted in
+/// ascending column order by [`Accumulator::gather_into`].
+///
+/// [`Accumulator::gather_into`]: crate::Accumulator::gather_into
+pub trait RowSink<T> {
+    /// Append one surviving entry of the current output row.
+    fn push(&mut self, j: Idx, v: T);
+}
+
+/// Growable sink over a pair of caller-owned `Vec`s.
+pub struct VecSink<'a, T> {
+    /// Column indices, appended in gather order.
+    pub cols: &'a mut Vec<Idx>,
+    /// Values, parallel to `cols`.
+    pub vals: &'a mut Vec<T>,
+}
+
+impl<T> RowSink<T> for VecSink<'_, T> {
+    #[inline(always)]
+    fn push(&mut self, j: Idx, v: T) {
+        self.cols.push(j);
+        self.vals.push(v);
+    }
+}
+
+/// Fixed-capacity cursor over a preallocated per-row slot.
+///
+/// The slot is exactly the mask-row-sized window of the shared output
+/// buffers; [`written`](Self::written) reports how much of it the row
+/// actually used (the rest is slack, squeezed out by the driver's
+/// compaction pass).
+pub struct SlotSink<'a, T> {
+    cols: &'a mut [Idx],
+    vals: &'a mut [T],
+    n: usize,
+}
+
+impl<'a, T> SlotSink<'a, T> {
+    /// Wrap one row's slot. Both slices must have the same length
+    /// (`nnz(M[i,:])` in the driver).
+    #[inline]
+    pub fn new(cols: &'a mut [Idx], vals: &'a mut [T]) -> Self {
+        debug_assert_eq!(cols.len(), vals.len());
+        SlotSink { cols, vals, n: 0 }
+    }
+
+    /// Entries written so far (the row's actual nnz after gather).
+    #[inline]
+    pub fn written(&self) -> usize {
+        self.n
+    }
+
+    /// Slot capacity (the mask bound for this row).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.cols.len()
+    }
+}
+
+impl<T> RowSink<T> for SlotSink<'_, T> {
+    #[inline(always)]
+    fn push(&mut self, j: Idx, v: T) {
+        // the indexing bounds check *is* the mask-bound assertion
+        self.cols[self.n] = j;
+        self.vals[self.n] = v;
+        self.n += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sink_appends_pairs() {
+        let (mut cols, mut vals) = (Vec::new(), Vec::new());
+        {
+            let mut sink = VecSink { cols: &mut cols, vals: &mut vals };
+            sink.push(3, 1.5);
+            sink.push(7, 2.5);
+        }
+        assert_eq!(cols, vec![3, 7]);
+        assert_eq!(vals, vec![1.5, 2.5]);
+    }
+
+    #[test]
+    fn slot_sink_writes_at_cursor_and_counts() {
+        let mut cols = [0u32; 4];
+        let mut vals = [0.0f64; 4];
+        let mut sink = SlotSink::new(&mut cols, &mut vals);
+        assert_eq!(sink.capacity(), 4);
+        assert_eq!(sink.written(), 0);
+        sink.push(9, 1.0);
+        sink.push(11, 2.0);
+        assert_eq!(sink.written(), 2);
+        assert_eq!(&cols[..2], &[9, 11]);
+        assert_eq!(&vals[..2], &[1.0, 2.0]);
+        // slack beyond the cursor is untouched
+        assert_eq!(cols[2], 0);
+    }
+
+    #[test]
+    fn slot_sink_overflow_panics_on_the_bounds_check() {
+        let mut cols = [0u32; 1];
+        let mut vals = [0.0f64; 1];
+        let err = std::panic::catch_unwind(move || {
+            let mut sink = SlotSink::new(&mut cols, &mut vals);
+            sink.push(1, 1.0);
+            sink.push(2, 2.0); // exceeds the mask bound
+        });
+        assert!(err.is_err(), "overflow must unwind, not write out of bounds");
+    }
+}

@@ -10,7 +10,7 @@
 //! are very short; included in the ablation benches to show *why* the
 //! paper's analysis can restrict itself to dense and hash.
 
-use crate::Accumulator;
+use crate::{Accumulator, RowSink};
 use mspgemm_sparse::{Idx, Semiring};
 
 /// Log-structured accumulator: appends then sort-merges at gather.
@@ -80,7 +80,7 @@ impl<S: Semiring> Accumulator<S> for SortAccumulator<S> {
         acc
     }
 
-    fn gather(&mut self, mask_cols: &[Idx], out_cols: &mut Vec<Idx>, out_vals: &mut Vec<S::T>) {
+    fn gather_into<W: RowSink<S::T> + ?Sized>(&mut self, mask_cols: &[Idx], out: &mut W) {
         if self.log.is_empty() {
             return;
         }
@@ -105,8 +105,7 @@ impl<S: Semiring> Accumulator<S> for SortAccumulator<S> {
                         acc = S::add(acc, self.log[li].1);
                         li += 1;
                     }
-                    out_cols.push(c);
-                    out_vals.push(acc);
+                    out.push(c, acc);
                     mi += 1;
                 }
             }

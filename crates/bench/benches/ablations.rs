@@ -9,7 +9,7 @@
 
 use mspgemm_bench::micro::{BenchmarkId, Micro};
 use mspgemm_bench::{micro_group, micro_main};
-use mspgemm_accum::{Accumulator, DenseAccumulator, DenseExplicitReset};
+use mspgemm_accum::{Accumulator, DenseAccumulator, DenseExplicitReset, VecSink};
 use mspgemm_core::kernels::row_mask_accumulate;
 use mspgemm_core::{masked_spgemm, Config, IterationSpace};
 use mspgemm_gen::{suite_graph, suite_specs};
@@ -59,7 +59,7 @@ fn bench_reset_policy(c: &mut Micro) {
         let mut vals = Vec::new();
         for i in 0..a.nrows() {
             let (mask_cols, _) = a.row(i);
-            row_mask_accumulate(i, a, a, mask_cols, acc, &mut cols, &mut vals);
+            row_mask_accumulate(i, a, a, mask_cols, acc, &mut VecSink { cols: &mut cols, vals: &mut vals });
         }
         cols.len()
     }

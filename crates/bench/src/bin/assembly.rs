@@ -1,0 +1,108 @@
+//! Output-assembly ablation — legacy fragment-stitch vs mask-bounded
+//! in-place slots (the `Config::assembly` axis).
+//!
+//! For each suite graph and tile count, measures both assembly paths at
+//! the paper's operating point (FLOP-balanced tiles, dynamic scheduling,
+//! mask-accumulate kernel, hash32) and then re-runs each configuration
+//! once with metrics armed to collect the assembly-traffic counters:
+//!
+//! * `copy_bytes`  — `driver.compaction_bytes`: bytes the assembly stage
+//!   copies *after* the kernel's first write of each entry. Legacy always
+//!   pays one full serial stitch; in-place pays a parallel compaction, or
+//!   **zero** when the mask bound is tight (`slack_nnz == 0`, the buffers
+//!   are adopted outright).
+//! * `slack_nnz`   — `driver.slack_nnz`: mask entries the product never
+//!   filled (`nnz(M) − nnz(C)`), i.e. how loose the preallocation bound was.
+//!
+//! Timing runs come first, unarmed — arming is sticky for the process and
+//! must not contaminate the wall-clock columns.
+//!
+//! Run: `cargo run --release -p mspgemm-bench --bin assembly`
+
+use mspgemm_bench::{measure, write_csv, BenchGraph, HarnessOptions};
+use mspgemm_core::{masked_spgemm_with_stats, Assembly, Config, IterationSpace};
+use mspgemm_rt::obs;
+use mspgemm_sched::{Schedule, TilingStrategy};
+use mspgemm_sparse::PlusPair;
+
+const TILE_COUNTS: [usize; 3] = [256, 2048, 8192];
+
+fn config(n_threads: usize, n_tiles: usize, assembly: Assembly) -> Config {
+    Config {
+        n_threads,
+        n_tiles,
+        tiling: TilingStrategy::FlopBalanced,
+        schedule: Schedule::Dynamic { chunk: 1 },
+        iteration: IterationSpace::MaskAccumulate,
+        assembly,
+        ..Config::default()
+    }
+}
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    let graphs = BenchGraph::generate_suite(&opts);
+    let paths = [(Assembly::Legacy, "legacy"), (Assembly::InPlace, "inplace")];
+
+    // ---- phase 1: wall-clock, metrics unarmed ----
+    println!("Assembly ablation: legacy stitch vs in-place slots (ms, best-of-budget)");
+    println!(
+        "{:<16} {:>7} {:>12} {:>12} {:>8}",
+        "graph", "tiles", "legacy (ms)", "inplace (ms)", "speedup"
+    );
+    let mut times = Vec::new();
+    for g in &graphs {
+        for &n_tiles in &TILE_COUNTS {
+            let mut pair = Vec::new();
+            for (assembly, _) in paths {
+                let cfg = config(opts.threads, n_tiles, assembly);
+                pair.push(measure(g, &cfg, &opts).ms_reported());
+            }
+            println!(
+                "{:<16} {:>7} {:>12.2} {:>12.2} {:>7.2}x",
+                g.spec.name,
+                n_tiles,
+                pair[0],
+                pair[1],
+                pair[0] / pair[1]
+            );
+            times.push((g.spec.name, n_tiles, pair[0], pair[1]));
+        }
+    }
+
+    // ---- phase 2: traffic counters, metrics armed (sticky from here) ----
+    obs::arm_metrics();
+    let mut rows = Vec::new();
+    for g in &graphs {
+        for &n_tiles in &TILE_COUNTS {
+            let timed = times
+                .iter()
+                .find(|(name, t, _, _)| *name == g.spec.name && *t == n_tiles)
+                .expect("phase 1 covered every combination");
+            for (i, (assembly, label)) in paths.iter().enumerate() {
+                let cfg = config(opts.threads, n_tiles, *assembly);
+                let (_, stats) = masked_spgemm_with_stats::<PlusPair>(&g.a, &g.a, &g.a, &cfg)
+                    .expect("suite graphs are square and self-masked");
+                let m = stats.metrics.expect("armed run attaches a snapshot delta");
+                rows.push(format!(
+                    "{},{},{},{:.4},{},{},{}",
+                    g.spec.name,
+                    n_tiles,
+                    label,
+                    if i == 0 { timed.2 } else { timed.3 },
+                    m.counter("driver.compaction_bytes"),
+                    m.counter("driver.slack_nnz"),
+                    stats.output_nnz,
+                ));
+            }
+        }
+    }
+
+    let path = write_csv(
+        "assembly.csv",
+        "graph,n_tiles,assembly,time_ms,copy_bytes,slack_nnz,output_nnz",
+        &rows,
+    )
+    .expect("write results/assembly.csv");
+    println!("\nwrote {} (+ results/BENCH_assembly.json)", path.display());
+}

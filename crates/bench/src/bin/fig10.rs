@@ -67,6 +67,7 @@ fn measure_sweep(opts: &HarnessOptions) -> SweepData {
                         schedule,
                         accumulator: acc,
                         iteration: IterationSpace::MaskAccumulate,
+                        ..Config::default()
                     };
                     eprintln!("[fig10] measuring {}", cfg.label());
                     let times: BTreeMap<String, f64> = graphs

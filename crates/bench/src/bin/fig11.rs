@@ -65,6 +65,7 @@ fn main() {
                             schedule,
                             accumulator: acc,
                             iteration: IterationSpace::MaskAccumulate,
+                            ..Config::default()
                         };
                         let s = measure(g, &cfg, &opts);
                         pair.push(s.ms_reported());

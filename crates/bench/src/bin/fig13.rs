@@ -37,6 +37,7 @@ fn main() {
                 schedule: Schedule::Dynamic { chunk: 1 },
                 accumulator: acc,
                 iteration: IterationSpace::Hybrid { kappa: 1.0 },
+                ..Config::default()
             };
             eprintln!("[fig13] {}", acc.label());
             graphs.iter().map(|g| measure(g, &cfg, &opts).ms_reported()).collect()

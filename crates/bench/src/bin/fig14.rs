@@ -42,6 +42,7 @@ fn main() {
         schedule: Schedule::Dynamic { chunk: 1 },
         accumulator: acc,
         iteration: IterationSpace::MaskAccumulate,
+        ..Config::default()
     };
 
     println!("Figure 14: runtime (ms) vs co-iteration factor (2048 balanced tiles, dynamic)");

@@ -41,6 +41,33 @@ impl IterationSpace {
     }
 }
 
+/// How the per-row kernel outputs become the final CSR matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Assembly {
+    /// Mask-bounded in-place assembly: the output `cols`/`vals` buffers are
+    /// preallocated once at `nnz(M)` capacity, each row writes directly
+    /// into its slot `[mask.row_ptr[i], mask.row_ptr[i+1])` (valid because
+    /// `nnz(C[i,:]) ≤ nnz(M[i,:])`), and a parallel compaction pass
+    /// squeezes out the per-row slack. No per-tile fragments, no serial
+    /// full-output copy.
+    InPlace,
+    /// Historical fragment-then-stitch: each tile accumulates into local
+    /// growable buffers and a serial pass re-copies the entire output.
+    /// Kept as a reference implementation (the property suite asserts
+    /// bit-identity against it) and for A/B benchmarking.
+    Legacy,
+}
+
+impl Assembly {
+    /// Label used in benchmark reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Assembly::InPlace => "inplace",
+            Assembly::Legacy => "legacy-stitch",
+        }
+    }
+}
+
 /// Full driver configuration — the cross product the Fig. 10/11 sweeps
 /// explore.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -57,6 +84,9 @@ pub struct Config {
     pub accumulator: AccumulatorKind,
     /// Iteration space (§III-B, Fig. 14).
     pub iteration: IterationSpace,
+    /// Output assembly strategy (not a paper axis — both produce
+    /// bit-identical results; `InPlace` is the fast path).
+    pub assembly: Assembly,
 }
 
 impl Default for Config {
@@ -73,6 +103,7 @@ impl Default for Config {
             schedule: Schedule::Dynamic { chunk: 1 },
             accumulator: AccumulatorKind::Hash(MarkerWidth::W32),
             iteration: IterationSpace::Hybrid { kappa: 1.0 },
+            assembly: Assembly::InPlace,
         }
     }
 }
@@ -95,15 +126,21 @@ impl Config {
     }
 
     /// Compact label for reports: `balanced/dynamic/2048/hash32/hybrid(k=1)`.
+    /// The assembly axis is appended only when it deviates from the
+    /// in-place default, so historical labels stay stable.
     pub fn label(&self) -> String {
-        format!(
+        let base = format!(
             "{}/{}/{}/{}/{}",
             self.tiling.label(),
             self.schedule.label(),
             self.n_tiles,
             self.accumulator.label(),
             self.iteration.label()
-        )
+        );
+        match self.assembly {
+            Assembly::InPlace => base,
+            Assembly::Legacy => format!("{base}/{}", self.assembly.label()),
+        }
     }
 }
 
@@ -119,6 +156,7 @@ mod tests {
         assert_eq!(c.n_tiles, 2048);
         assert!(matches!(c.iteration, IterationSpace::Hybrid { kappa } if kappa == 1.0));
         assert_eq!(c.accumulator, AccumulatorKind::Hash(MarkerWidth::W32));
+        assert_eq!(c.assembly, Assembly::InPlace);
     }
 
     #[test]
@@ -145,5 +183,8 @@ mod tests {
         assert!(l.contains("hybrid"));
         assert_eq!(IterationSpace::Vanilla.label(), "vanilla");
         assert_eq!(IterationSpace::CoIterate.label(), "coiterate");
+        assert!(!l.contains("legacy"), "in-place default leaves the label unchanged");
+        let legacy = Config { assembly: Assembly::Legacy, ..Config::default() };
+        assert!(legacy.label().ends_with("/legacy-stitch"));
     }
 }

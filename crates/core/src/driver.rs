@@ -8,9 +8,23 @@
 //!    needed by FLOP-balanced tiling *and* by hash-accumulator sizing;
 //! 3. cut the rows into tiles ([`mspgemm_sched::tile`]);
 //! 4. run the tiles on the worker pool ([`mspgemm_sched::run_tiles`]);
-//!    each thread owns a private accumulator and each tile produces an
-//!    independent `(cols, vals, row_nnz)` fragment;
-//! 5. stitch the fragments into the output CSR.
+//!    each worker owns a private accumulator that persists across every
+//!    tile it claims;
+//! 5. assemble the output CSR.
+//!
+//! # Output assembly
+//!
+//! The default ([`Assembly::InPlace`]) exploits the mask's hard bound
+//! `nnz(C[i,:]) ≤ nnz(M[i,:])`: a serial prefix over the mask's row
+//! pointers sizes the output `cols`/`vals` buffers at `nnz(M)` once, each
+//! tile claims its disjoint slot range through
+//! [`mspgemm_sched::DisjointSlots`] and the kernels write rows straight
+//! into their slots (zero steady-state allocation); a parallel compaction
+//! pass then squeezes out the per-row slack and builds the final
+//! `row_ptr` — and when there is no slack the slot buffers *are* the
+//! output, with nothing copied at all. [`Assembly::Legacy`] keeps the
+//! historical fragment-then-stitch pipeline (per-tile growable buffers +
+//! serial full-output copy) as the bit-identical reference.
 //!
 //! # Fault tolerance
 //!
@@ -27,18 +41,18 @@
 //! [`RunStats::retried_tiles`] / [`RunStats::failed_tiles`] make any
 //! degradation observable.
 
-use crate::config::{Config, IterationSpace};
+use crate::config::{Assembly, Config, IterationSpace};
 use crate::kernels::{
     row_coiterate, row_hybrid, row_mask_accumulate, row_vanilla, tally_row_hybrid, HybridStats,
 };
 use mspgemm_accum::{
-    Accumulator, AccumulatorKind, DenseAccumulator, HashAccumulator, MarkerWidth,
-    SortAccumulator,
+    Accumulator, AccumulatorKind, DenseAccumulator, HashAccumulator, MarkerWidth, RowSink,
+    SlotSink, SortAccumulator, VecSink,
 };
 use mspgemm_rt::{failpoint, obs};
 use mspgemm_sched::{
-    catch_tile_panic, run_tiles, tile::tiles_for, work::row_work, work::total_work, ExecError,
-    ThreadReport, Tile,
+    catch_tile_panic, run_tiles, tile::tiles_for, work::row_work, work::total_work,
+    DisjointSlots, ExecError, Schedule, ThreadReport, Tile,
 };
 use mspgemm_sparse::{Csr, Idx, Semiring, SparseError};
 use std::collections::HashMap;
@@ -194,6 +208,14 @@ pub fn masked_spgemm_with_stats<S: Semiring>(
     // so `elapsed` measures the configuration, not the recovery
     let elapsed = start.elapsed().saturating_sub(retry.elapsed);
 
+    // mask bound minus realised output: the per-row slack the in-place
+    // assembly preallocates and then compacts away (identical under the
+    // legacy path — the outputs are bit-identical)
+    obs::add(
+        obs::Counter::DriverSlackNnz,
+        (mask.nnz() - result.nnz()) as u64,
+    );
+
     let metrics = before.map(|b| obs::snapshot().delta_since(&b));
     let stats = RunStats {
         elapsed,
@@ -288,11 +310,43 @@ fn dispatch_metered<S: Semiring, const METER: bool>(
     }
 }
 
+/// Dispatch one output row through the configured kernel into `out`,
+/// replaying the hybrid kernel's Eq. 3 decisions when metrics are armed.
+/// Shared by both assembly paths — the kernels see the sink abstractly,
+/// so the monomorphised row loop is identical either way.
+#[inline]
+fn run_row<S, A, W>(
+    i: usize,
+    iteration: IterationSpace,
+    a: &Csr<S::T>,
+    b: &Csr<S::T>,
+    mask_cols: &[Idx],
+    acc: &mut A,
+    hstats: &mut HybridStats,
+    out: &mut W,
+) where
+    S: Semiring,
+    A: Accumulator<S>,
+    W: RowSink<S::T> + ?Sized,
+{
+    match iteration {
+        IterationSpace::Vanilla => row_vanilla(i, a, b, mask_cols, acc, out),
+        IterationSpace::MaskAccumulate => row_mask_accumulate(i, a, b, mask_cols, acc, out),
+        IterationSpace::CoIterate => row_coiterate(i, a, b, mask_cols, acc, out),
+        IterationSpace::Hybrid { kappa } => {
+            row_hybrid(i, a, b, mask_cols, kappa, acc, out);
+            // replay the Eq. 3 decisions (pure function of the same
+            // inputs) so the kernel itself stays uninstrumented
+            if hstats.on {
+                tally_row_hybrid(i, a, b, mask_cols.len(), kappa, hstats);
+            }
+        }
+    }
+}
+
 /// Compute one tile's output fragment with the given iteration space and
-/// accumulator. Used by both the parallel phase (with the configured
-/// kernel) and the degraded serial retry (with the vanilla kernel) — every
-/// kernel folds each row's products in the same `k` order, so the two
-/// agree bit-for-bit.
+/// accumulator (the legacy assembly path). The buffers are sized by the
+/// tile's mask bound up front, so they never reallocate mid-row.
 fn compute_fragment<S, A>(
     tile: Tile,
     iteration: IterationSpace,
@@ -306,29 +360,24 @@ where
     S: Semiring,
     A: Accumulator<S>,
 {
+    // nnz(C) over the tile's rows cannot exceed the mask bound
+    let bound: usize = tile.rows().map(|i| mask.row_nnz(i)).sum();
     let mut row_nnz = Vec::with_capacity(tile.len());
-    let mut cols = Vec::new();
-    let mut vals = Vec::new();
+    let mut cols = Vec::with_capacity(bound);
+    let mut vals = Vec::with_capacity(bound);
     for i in tile.rows() {
         let before = cols.len();
         let (mask_cols, _) = mask.row(i);
-        match iteration {
-            IterationSpace::Vanilla => row_vanilla(i, a, b, mask_cols, acc, &mut cols, &mut vals),
-            IterationSpace::MaskAccumulate => {
-                row_mask_accumulate(i, a, b, mask_cols, acc, &mut cols, &mut vals)
-            }
-            IterationSpace::CoIterate => {
-                row_coiterate(i, a, b, mask_cols, acc, &mut cols, &mut vals)
-            }
-            IterationSpace::Hybrid { kappa } => {
-                row_hybrid(i, a, b, mask_cols, kappa, acc, &mut cols, &mut vals);
-                // replay the Eq. 3 decisions (pure function of the same
-                // inputs) so the kernel itself stays uninstrumented
-                if hstats.on {
-                    tally_row_hybrid(i, a, b, mask_cols.len(), kappa, hstats);
-                }
-            }
-        }
+        run_row::<S, A, _>(
+            i,
+            iteration,
+            a,
+            b,
+            mask_cols,
+            acc,
+            hstats,
+            &mut VecSink { cols: &mut cols, vals: &mut vals },
+        );
         row_nnz.push((cols.len() - before) as u32);
     }
     // fold this tile's instance-local tallies into the global registry —
@@ -339,9 +388,368 @@ where
     TileResult { row_nnz, cols, vals }
 }
 
-/// The monomorphic parallel run: schedule tiles, compute fragments, retry
-/// failed tiles serially with the conservative configuration, stitch.
+/// Compute one tile directly into its preallocated slots (the in-place
+/// assembly path). `slot_cols`/`slot_vals` are the tile's window of the
+/// shared bound-sized buffers; `row_nnz` is the tile's window of the
+/// global per-row nnz array. Performs **no heap allocation**: every row's
+/// slot is `[mask.row_ptr[i], mask.row_ptr[i+1])` relative to the tile
+/// base, and `nnz(C[i,:]) ≤ nnz(M[i,:])` guarantees it fits. Used by both
+/// the parallel phase and the degraded serial retry (which overwrites the
+/// exact same slots — every kernel folds each row's products in the same
+/// `k` order, so the retry is bit-identical).
+#[allow(clippy::too_many_arguments)]
+fn compute_tile_slots<S, A>(
+    tile: Tile,
+    iteration: IterationSpace,
+    a: &Csr<S::T>,
+    b: &Csr<S::T>,
+    mask: &Csr<S::T>,
+    acc: &mut A,
+    hstats: &mut HybridStats,
+    slot_cols: &mut [Idx],
+    slot_vals: &mut [S::T],
+    row_nnz: &mut [u32],
+) where
+    S: Semiring,
+    A: Accumulator<S>,
+{
+    let mut base = 0usize;
+    let mut tile_nnz = 0u64;
+    for (local, i) in tile.rows().enumerate() {
+        let (mask_cols, _) = mask.row(i);
+        let w = mask_cols.len();
+        let mut sink = SlotSink::new(
+            &mut slot_cols[base..base + w],
+            &mut slot_vals[base..base + w],
+        );
+        run_row::<S, A, _>(i, iteration, a, b, mask_cols, acc, hstats, &mut sink);
+        let n = sink.written();
+        row_nnz[local] = n as u32;
+        tile_nnz += n as u64;
+        base += w;
+    }
+    acc.flush_metrics();
+    hstats.flush();
+    obs::add(obs::Counter::DriverTileOutputNnz, tile_nnz);
+}
+
+/// Minimum compacted-output volume, in bytes, before the slack-squeeze
+/// pass is scheduled on the pool instead of running serially. Small
+/// outputs aren't worth a fork/join (and keeping unit-test-sized runs
+/// serial keeps per-run scheduler counters single-pass). Overridable via
+/// `MSPGEMM_COMPACT_PAR_MIN`, read once per process.
+fn compact_par_min() -> usize {
+    static MIN: OnceLock<usize> = OnceLock::new();
+    *MIN.get_or_init(|| {
+        std::env::var("MSPGEMM_COMPACT_PAR_MIN")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(4 << 20)
+    })
+}
+
+/// Copy one tile's rows from their slack-padded slots into the compacted
+/// output window `[row_ptr[tile.lo], row_ptr[tile.hi])`, returning the
+/// bytes moved. Pure per-tile function, safe to run from any worker: the
+/// sources are disjoint reads and the destination window is exclusive.
+#[allow(clippy::too_many_arguments)]
+fn copy_tile_rows<S: Semiring>(
+    tile: Tile,
+    mask: &Csr<S::T>,
+    slot_lo: usize,
+    row_ptr: &[usize],
+    slot_cols: &[Idx],
+    slot_vals: &[S::T],
+    dest_cols: &mut [Idx],
+    dest_vals: &mut [S::T],
+) -> u64 {
+    let dest_base = row_ptr[tile.lo];
+    let mut src = slot_lo;
+    for i in tile.rows() {
+        let n = row_ptr[i + 1] - row_ptr[i];
+        let d = row_ptr[i] - dest_base;
+        dest_cols[d..d + n].copy_from_slice(&slot_cols[src..src + n]);
+        dest_vals[d..d + n].copy_from_slice(&slot_vals[src..src + n]);
+        src += mask.row_nnz(i);
+    }
+    let entry = std::mem::size_of::<Idx>() + std::mem::size_of::<S::T>();
+    ((row_ptr[tile.hi] - dest_base) * entry) as u64
+}
+
+/// The monomorphic parallel run, dispatched on the assembly strategy.
 fn run_generic<S, A, F>(
+    a: &Csr<S::T>,
+    b: &Csr<S::T>,
+    mask: &Csr<S::T>,
+    config: &Config,
+    tiles: &[Tile],
+    n_threads: usize,
+    make_acc: F,
+) -> Result<(Csr<S::T>, Vec<ThreadReport>, RetryStats), SparseError>
+where
+    S: Semiring,
+    A: Accumulator<S>,
+    F: Fn() -> A + Sync,
+{
+    match config.assembly {
+        Assembly::InPlace => run_inplace::<S, A, F>(a, b, mask, config, tiles, n_threads, make_acc),
+        Assembly::Legacy => run_legacy::<S, A, F>(a, b, mask, config, tiles, n_threads, make_acc),
+    }
+}
+
+/// Mask-bounded in-place assembly: preallocate at `nnz(M)`, write rows
+/// into disjoint slots, compact the slack in parallel. See the module
+/// docs for the layout.
+fn run_inplace<S, A, F>(
+    a: &Csr<S::T>,
+    b: &Csr<S::T>,
+    mask: &Csr<S::T>,
+    config: &Config,
+    tiles: &[Tile],
+    n_threads: usize,
+    make_acc: F,
+) -> Result<(Csr<S::T>, Vec<ThreadReport>, RetryStats), SparseError>
+where
+    S: Semiring,
+    A: Accumulator<S>,
+    F: Fn() -> A + Sync,
+{
+    let iteration = config.iteration;
+    let nrows = a.nrows();
+    let ncols = b.ncols();
+
+    // serial prefix over the mask's row pointers: each tile's slot range
+    // in the shared bound-sized buffers (tiles partition the rows in
+    // order, so one running sum covers them all)
+    let mut slot_ranges = Vec::with_capacity(tiles.len());
+    let mut row_ranges = Vec::with_capacity(tiles.len());
+    let mut bound = 0usize;
+    for t in tiles {
+        let lo = bound;
+        for i in t.rows() {
+            bound += mask.row_nnz(i);
+        }
+        slot_ranges.push((lo, bound));
+        row_ranges.push((t.lo, t.hi));
+    }
+
+    let mut slot_cols = vec![0 as Idx; bound];
+    let mut slot_vals = vec![S::zero(); bound];
+    let mut row_nnz = vec![0u32; nrows];
+    let completed: Vec<OnceLock<()>> = (0..tiles.len()).map(|_| OnceLock::new()).collect();
+    let duplicate: Mutex<Option<usize>> = Mutex::new(None);
+
+    let outcome = {
+        let col_slots = DisjointSlots::new(&mut slot_cols, slot_ranges.clone())
+            .map_err(|detail| SparseError::Internal { detail })?;
+        let val_slots = DisjointSlots::new(&mut slot_vals, slot_ranges.clone())
+            .map_err(|detail| SparseError::Internal { detail })?;
+        let nnz_slots = DisjointSlots::new(&mut row_nnz, row_ranges)
+            .map_err(|detail| SparseError::Internal { detail })?;
+        run_tiles(
+            n_threads,
+            tiles.len(),
+            config.schedule,
+            // worker-persistent scratch: the accumulator and hybrid-stats
+            // live for every tile this worker claims
+            |_t| (make_acc(), HybridStats::armed()),
+            |(acc, hstats), tile_idx| {
+                failpoint::maybe_fire(failpoint::TILE_KERNEL, tile_idx as u64);
+                let (Some(sc), Some(sv), Some(rn)) = (
+                    col_slots.take(tile_idx),
+                    val_slots.take(tile_idx),
+                    nnz_slots.take(tile_idx),
+                ) else {
+                    let mut guard = duplicate.lock().unwrap_or_else(|e| e.into_inner());
+                    guard.get_or_insert(tile_idx);
+                    return;
+                };
+                compute_tile_slots::<S, A>(
+                    tiles[tile_idx],
+                    iteration,
+                    a,
+                    b,
+                    mask,
+                    acc,
+                    hstats,
+                    sc,
+                    sv,
+                    rn,
+                );
+                let _ = completed[tile_idx].set(());
+            },
+        )
+    };
+
+    if let Some(tile_idx) = duplicate.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        return Err(SparseError::Internal {
+            detail: format!("tile {tile_idx} executed twice"),
+        });
+    }
+
+    let (reports, parallel_failures) = match outcome {
+        Ok(reports) => (reports, Vec::new()),
+        Err(ExecError { failures, reports }) => (reports, failures),
+    };
+
+    // --- degraded serial retry: vanilla kernel + dense u64 accumulator,
+    // writing into exactly the slots the tile owned. A panicked attempt
+    // only ever wrote inside them, and the retry overwrites every row's
+    // prefix and nnz, so recovery stays bit-identical. ---
+    let mut payloads: HashMap<usize, String> = HashMap::new();
+    for f in &parallel_failures {
+        payloads.entry(f.tile).or_insert_with(|| f.payload.clone());
+    }
+    let missing: Vec<usize> =
+        (0..tiles.len()).filter(|&i| completed[i].get().is_none()).collect();
+    let mut retry = RetryStats { failed: missing.len(), ..RetryStats::default() };
+    let retry_start = (retry.failed > 0).then(Instant::now);
+    for tile_idx in missing {
+        let tile = tiles[tile_idx];
+        let (slo, shi) = slot_ranges[tile_idx];
+        // The failpoint key used in the parallel body is the tile index,
+        // and the retry deliberately does NOT re-fire `tile-kernel`: the
+        // degraded path is the recovery path, exercised on its own via the
+        // `accum-reset` site.
+        let attempt = catch_tile_panic(|| {
+            let mut acc = DenseAccumulator::<S, u64>::new(ncols);
+            let mut hstats = HybridStats::armed();
+            compute_tile_slots::<S, _>(
+                tile,
+                IterationSpace::Vanilla,
+                a,
+                b,
+                mask,
+                &mut acc,
+                &mut hstats,
+                &mut slot_cols[slo..shi],
+                &mut slot_vals[slo..shi],
+                &mut row_nnz[tile.lo..tile.hi],
+            );
+        });
+        match attempt {
+            Ok(()) => {
+                retry.recovered += 1;
+                obs::incr(obs::Counter::DriverRetriedTiles);
+            }
+            Err(retry_msg) => {
+                let first = payloads
+                    .remove(&tile_idx)
+                    .unwrap_or_else(|| "tile output missing".to_string());
+                return Err(SparseError::TileFailed {
+                    tile: tile_idx,
+                    rows: (tile.lo, tile.hi),
+                    detail: format!("parallel: {first}; degraded retry: {retry_msg}"),
+                });
+            }
+        }
+    }
+    if let Some(s) = retry_start {
+        retry.elapsed = s.elapsed();
+    }
+
+    // --- compaction: squeeze the per-row slack, build the final row_ptr ---
+    let mut row_ptr = Vec::with_capacity(nrows + 1);
+    row_ptr.push(0usize);
+    let mut acc_nnz = 0usize;
+    for &rn in &row_nnz {
+        acc_nnz += rn as usize;
+        row_ptr.push(acc_nnz);
+    }
+    let output_nnz = acc_nnz;
+
+    // keep the legacy `fragment-stitch` fault-injection surface: the same
+    // per-tile site fires here even though in-place assembly has no stitch
+    if let Err(msg) = catch_tile_panic(|| {
+        for idx in 0..tiles.len() {
+            failpoint::maybe_fire(failpoint::FRAGMENT_STITCH, idx as u64);
+        }
+    }) {
+        return Err(SparseError::Internal { detail: format!("stitch: {msg}") });
+    }
+
+    if output_nnz == bound {
+        // no slack: the slot buffers *are* the output — zero bytes moved
+        let c = Csr::from_parts_unchecked(nrows, ncols, row_ptr, slot_cols, slot_vals);
+        return Ok((c, reports, retry));
+    }
+
+    let mut out_cols = vec![0 as Idx; output_nnz];
+    let mut out_vals = vec![S::zero(); output_nnz];
+    let entry_bytes = std::mem::size_of::<Idx>() + std::mem::size_of::<S::T>();
+    let parallel =
+        n_threads > 1 && tiles.len() > 1 && output_nnz * entry_bytes >= compact_par_min();
+
+    let mut done = false;
+    if parallel {
+        // per-tile disjoint copies through the existing pool; tile t's
+        // destination window is [row_ptr[t.lo], row_ptr[t.hi])
+        let dest_ranges: Vec<(usize, usize)> =
+            tiles.iter().map(|t| (row_ptr[t.lo], row_ptr[t.hi])).collect();
+        let copied: Vec<OnceLock<()>> = (0..tiles.len()).map(|_| OnceLock::new()).collect();
+        {
+            let dc = DisjointSlots::new(&mut out_cols, dest_ranges.clone())
+                .map_err(|detail| SparseError::Internal { detail })?;
+            let dv = DisjointSlots::new(&mut out_vals, dest_ranges)
+                .map_err(|detail| SparseError::Internal { detail })?;
+            let _ = run_tiles(
+                n_threads,
+                tiles.len(),
+                Schedule::Dynamic { chunk: 1 },
+                |_t| (),
+                |(), tile_idx| {
+                    let (Some(c), Some(v)) = (dc.take(tile_idx), dv.take(tile_idx)) else {
+                        return;
+                    };
+                    let bytes = copy_tile_rows::<S>(
+                        tiles[tile_idx],
+                        mask,
+                        slot_ranges[tile_idx].0,
+                        &row_ptr,
+                        &slot_cols,
+                        &slot_vals,
+                        c,
+                        v,
+                    );
+                    obs::add(obs::Counter::DriverCompactionBytes, bytes);
+                    let _ = copied[tile_idx].set(());
+                },
+            );
+        }
+        done = copied.iter().all(|c| c.get().is_some());
+    }
+    if !done {
+        // serial compaction — the small-output default and the fallback
+        // when the parallel pass lost a tile (the redo overwrites every
+        // window, so a partial parallel attempt cannot leak)
+        let res = catch_tile_panic(|| {
+            for (idx, t) in tiles.iter().enumerate() {
+                let (dlo, dhi) = (row_ptr[t.lo], row_ptr[t.hi]);
+                let bytes = copy_tile_rows::<S>(
+                    *t,
+                    mask,
+                    slot_ranges[idx].0,
+                    &row_ptr,
+                    &slot_cols,
+                    &slot_vals,
+                    &mut out_cols[dlo..dhi],
+                    &mut out_vals[dlo..dhi],
+                );
+                obs::add(obs::Counter::DriverCompactionBytes, bytes);
+            }
+        });
+        if let Err(msg) = res {
+            return Err(SparseError::Internal { detail: format!("stitch: {msg}") });
+        }
+    }
+
+    Ok((Csr::from_parts_unchecked(nrows, ncols, row_ptr, out_cols, out_vals), reports, retry))
+}
+
+/// The historical fragment-then-stitch run: schedule tiles, compute
+/// fragments, retry failed tiles serially with the conservative
+/// configuration, stitch.
+fn run_legacy<S, A, F>(
     a: &Csr<S::T>,
     b: &Csr<S::T>,
     mask: &Csr<S::T>,
@@ -480,7 +888,7 @@ where
         stitched_bytes += (t.cols.len() * std::mem::size_of::<Idx>()
             + t.vals.len() * std::mem::size_of::<S::T>()) as u64;
     }
-    obs::add(obs::Counter::DriverStitchBytes, stitched_bytes);
+    obs::add(obs::Counter::DriverCompactionBytes, stitched_bytes);
     if row_ptr.len() != nrows + 1 {
         return Err(SparseError::Internal {
             detail: format!(
@@ -525,14 +933,17 @@ mod tests {
                         IterationSpace::CoIterate,
                         IterationSpace::Hybrid { kappa: 1.0 },
                     ] {
-                        v.push(Config {
-                            n_threads: 2,
-                            n_tiles: 7,
-                            tiling,
-                            schedule,
-                            accumulator,
-                            iteration,
-                        });
+                        for assembly in [Assembly::InPlace, Assembly::Legacy] {
+                            v.push(Config {
+                                n_threads: 2,
+                                n_tiles: 7,
+                                tiling,
+                                schedule,
+                                accumulator,
+                                iteration,
+                                assembly,
+                            });
+                        }
                     }
                 }
             }

@@ -2,13 +2,16 @@
 //! paper).
 //!
 //! Each kernel computes one output row `C[i,:]` given `A[i,:]`, the whole
-//! of `B`, and the mask row `M[i,:]`, appending the surviving entries (in
-//! sorted column order) to the caller's output buffers. The kernels are
-//! generic over the [`Semiring`] and the [`Accumulator`], so the driver
+//! of `B`, and the mask row `M[i,:]`, emitting the surviving entries (in
+//! sorted column order) through the caller's [`RowSink`] — a growable
+//! `VecSink` on the legacy fragment path, or a preallocated mask-bounded
+//! `SlotSink` on the in-place assembly path. The kernels are generic over
+//! the [`Semiring`], the [`Accumulator`] and the sink, so the driver
 //! monomorphises `4 iteration spaces × 2 accumulator families × 4 marker
-//! widths` into straight-line code.
+//! widths` into straight-line code, and the kernel bodies themselves never
+//! touch the heap.
 
-use mspgemm_accum::Accumulator;
+use mspgemm_accum::{Accumulator, RowSink};
 use mspgemm_rt::obs;
 use mspgemm_sparse::{Csr, Idx, Semiring};
 
@@ -99,14 +102,13 @@ pub fn tally_row_hybrid<T: Copy>(
 /// C[i,:] = acc.gather()
 /// ```
 #[inline]
-pub fn row_vanilla<S: Semiring, A: Accumulator<S>>(
+pub fn row_vanilla<S: Semiring, A: Accumulator<S>, W: RowSink<S::T> + ?Sized>(
     i: usize,
     a: &Csr<S::T>,
     b: &Csr<S::T>,
     mask_cols: &[Idx],
     acc: &mut A,
-    out_cols: &mut Vec<Idx>,
-    out_vals: &mut Vec<S::T>,
+    out: &mut W,
 ) {
     acc.begin_row();
     let (acols, avals) = a.row(i);
@@ -117,20 +119,19 @@ pub fn row_vanilla<S: Semiring, A: Accumulator<S>>(
         }
     }
     // late mask intersection (Fig. 3 lines 14-16) fused into the gather
-    acc.gather(mask_cols, out_cols, out_vals);
+    acc.gather_into(mask_cols, out);
 }
 
 /// Fig. 5 — the GrB kernel: load the mask into the accumulator first, then
 /// discard updates that miss it.
 #[inline]
-pub fn row_mask_accumulate<S: Semiring, A: Accumulator<S>>(
+pub fn row_mask_accumulate<S: Semiring, A: Accumulator<S>, W: RowSink<S::T> + ?Sized>(
     i: usize,
     a: &Csr<S::T>,
     b: &Csr<S::T>,
     mask_cols: &[Idx],
     acc: &mut A,
-    out_cols: &mut Vec<Idx>,
-    out_vals: &mut Vec<S::T>,
+    out: &mut W,
 ) {
     acc.begin_row();
     for &j in mask_cols {
@@ -143,21 +144,20 @@ pub fn row_mask_accumulate<S: Semiring, A: Accumulator<S>>(
             acc.accumulate_masked(j, av, bv);
         }
     }
-    acc.gather(mask_cols, out_cols, out_vals);
+    acc.gather_into(mask_cols, out);
 }
 
 /// Fig. 7 — pure co-iteration: for every fetched `B[k,:]`, iterate the
 /// *mask* and binary search each mask column within the B row. Only the
 /// matching elements of B are ever loaded.
 #[inline]
-pub fn row_coiterate<S: Semiring, A: Accumulator<S>>(
+pub fn row_coiterate<S: Semiring, A: Accumulator<S>, W: RowSink<S::T> + ?Sized>(
     i: usize,
     a: &Csr<S::T>,
     b: &Csr<S::T>,
     mask_cols: &[Idx],
     acc: &mut A,
-    out_cols: &mut Vec<Idx>,
-    out_vals: &mut Vec<S::T>,
+    out: &mut W,
 ) {
     acc.begin_row();
     let (acols, avals) = a.row(i);
@@ -169,7 +169,7 @@ pub fn row_coiterate<S: Semiring, A: Accumulator<S>>(
             }
         }
     }
-    acc.gather(mask_cols, out_cols, out_vals);
+    acc.gather_into(mask_cols, out);
 }
 
 /// Fig. 9 — the hybrid kernel: per fetched row `B[k,:]`, compare the
@@ -177,15 +177,14 @@ pub fn row_coiterate<S: Semiring, A: Accumulator<S>>(
 /// against `κ · nnz(B[k,:])` and take the cheaper traversal. This is the
 /// kernel that rescues `circuit5M` in the paper (Fig. 14d).
 #[inline]
-pub fn row_hybrid<S: Semiring, A: Accumulator<S>>(
+pub fn row_hybrid<S: Semiring, A: Accumulator<S>, W: RowSink<S::T> + ?Sized>(
     i: usize,
     a: &Csr<S::T>,
     b: &Csr<S::T>,
     mask_cols: &[Idx],
     kappa: f64,
     acc: &mut A,
-    out_cols: &mut Vec<Idx>,
-    out_vals: &mut Vec<S::T>,
+    out: &mut W,
 ) {
     acc.begin_row();
     for &j in mask_cols {
@@ -213,7 +212,7 @@ pub fn row_hybrid<S: Semiring, A: Accumulator<S>>(
             }
         }
     }
-    acc.gather(mask_cols, out_cols, out_vals);
+    acc.gather_into(mask_cols, out);
 }
 
 /// `⌈log₂ n⌉` as f64, with `log₂ 1 = 1` so a one-element row still costs a
@@ -227,7 +226,7 @@ fn log2_ceil(n: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mspgemm_accum::{DenseAccumulator, HashAccumulator};
+    use mspgemm_accum::{DenseAccumulator, HashAccumulator, VecSink};
     use mspgemm_sparse::{Coo, Dense, PlusTimes};
 
     /// Deterministic pseudo-random sparse matrix (no rand dependency in
@@ -246,6 +245,44 @@ mod tests {
             }
         }
         coo.to_csr_with(|a, _| a)
+    }
+
+    /// Vec-backed adapters over the sink-generic kernels, so tests keep
+    /// the historical `(out_cols, out_vals)` shape.
+    fn vec_vanilla<A: Accumulator<PlusTimes>>(
+        i: usize,
+        a: &Csr<f64>,
+        b: &Csr<f64>,
+        m: &[Idx],
+        acc: &mut A,
+        oc: &mut Vec<Idx>,
+        ov: &mut Vec<f64>,
+    ) {
+        row_vanilla(i, a, b, m, acc, &mut VecSink { cols: oc, vals: ov })
+    }
+
+    fn vec_mask_accumulate<A: Accumulator<PlusTimes>>(
+        i: usize,
+        a: &Csr<f64>,
+        b: &Csr<f64>,
+        m: &[Idx],
+        acc: &mut A,
+        oc: &mut Vec<Idx>,
+        ov: &mut Vec<f64>,
+    ) {
+        row_mask_accumulate(i, a, b, m, acc, &mut VecSink { cols: oc, vals: ov })
+    }
+
+    fn vec_coiterate<A: Accumulator<PlusTimes>>(
+        i: usize,
+        a: &Csr<f64>,
+        b: &Csr<f64>,
+        m: &[Idx],
+        acc: &mut A,
+        oc: &mut Vec<Idx>,
+        ov: &mut Vec<f64>,
+    ) {
+        row_coiterate(i, a, b, m, acc, &mut VecSink { cols: oc, vals: ov })
     }
 
     /// Run one kernel over all rows with a given accumulator and collect
@@ -287,16 +324,14 @@ mod tests {
         let want = oracle(&a, &b, &mask);
 
         let mut acc: DenseAccumulator<PlusTimes, u32> = DenseAccumulator::new(40);
-        assert_eq!(run_all(row_vanilla, &a, &b, &mask, &mut acc), want, "vanilla");
-        assert_eq!(
-            run_all(row_mask_accumulate, &a, &b, &mask, &mut acc),
-            want,
-            "mask-accumulate"
-        );
-        assert_eq!(run_all(row_coiterate, &a, &b, &mask, &mut acc), want, "coiterate");
+        assert_eq!(run_all(vec_vanilla, &a, &b, &mask, &mut acc), want, "vanilla");
+        assert_eq!(run_all(vec_mask_accumulate, &a, &b, &mask, &mut acc), want, "mask-accumulate");
+        assert_eq!(run_all(vec_coiterate, &a, &b, &mask, &mut acc), want, "coiterate");
         for kappa in [0.0, 0.5, 1.0, 100.0] {
             let got = run_all(
-                |i, a, b, m, acc, oc, ov| row_hybrid(i, a, b, m, kappa, acc, oc, ov),
+                |i, a, b, m, acc, oc, ov| {
+                    row_hybrid(i, a, b, m, kappa, acc, &mut VecSink { cols: oc, vals: ov })
+                },
                 &a,
                 &b,
                 &mask,
@@ -321,15 +356,13 @@ mod tests {
                 .min(30);
         let mut acc: HashAccumulator<PlusTimes, u32> =
             HashAccumulator::with_row_capacity(max_inter.max(8));
-        assert_eq!(run_all(row_vanilla, &a, &b, &mask, &mut acc), want, "vanilla");
-        assert_eq!(
-            run_all(row_mask_accumulate, &a, &b, &mask, &mut acc),
-            want,
-            "mask-accumulate"
-        );
-        assert_eq!(run_all(row_coiterate, &a, &b, &mask, &mut acc), want, "coiterate");
+        assert_eq!(run_all(vec_vanilla, &a, &b, &mask, &mut acc), want, "vanilla");
+        assert_eq!(run_all(vec_mask_accumulate, &a, &b, &mask, &mut acc), want, "mask-accumulate");
+        assert_eq!(run_all(vec_coiterate, &a, &b, &mask, &mut acc), want, "coiterate");
         let got = run_all(
-            |i, a, b, m, acc, oc, ov| row_hybrid(i, a, b, m, 1.0, acc, oc, ov),
+            |i, a, b, m, acc, oc, ov| {
+                row_hybrid(i, a, b, m, 1.0, acc, &mut VecSink { cols: oc, vals: ov })
+            },
             &a,
             &b,
             &mask,
@@ -348,7 +381,9 @@ mod tests {
         let want = oracle(&a, &a, &mask);
         for kappa in [0.0, f64::INFINITY] {
             let got = run_all(
-                |i, a, b, m, acc, oc, ov| row_hybrid(i, a, b, m, kappa, acc, oc, ov),
+                |i, a, b, m, acc, oc, ov| {
+                    row_hybrid(i, a, b, m, kappa, acc, &mut VecSink { cols: oc, vals: ov })
+                },
                 &a,
                 &a,
                 &mask,
@@ -376,9 +411,9 @@ mod tests {
         let a = lcg_matrix(10, 10, 5, 11);
         let mask: Csr<f64> = Csr::zeros(10, 10);
         let mut acc: DenseAccumulator<PlusTimes, u32> = DenseAccumulator::new(10);
-        let c = run_all(row_mask_accumulate, &a, &a, &mask, &mut acc);
+        let c = run_all(vec_mask_accumulate, &a, &a, &mask, &mut acc);
         assert_eq!(c.nnz(), 0);
-        let c = run_all(row_vanilla, &a, &a, &mask, &mut acc);
+        let c = run_all(vec_vanilla, &a, &a, &mask, &mut acc);
         assert_eq!(c.nnz(), 0);
     }
 
@@ -403,7 +438,7 @@ mod tests {
             oc: &mut Vec<Idx>,
             ov: &mut Vec<f64>,
         ) {
-            row_hybrid(i, a, b, m, 1.0, acc, oc, ov)
+            row_hybrid(i, a, b, m, 1.0, acc, &mut VecSink { cols: oc, vals: ov })
         }
     }
 
@@ -447,7 +482,7 @@ mod tests {
         let mask = lcg_matrix(5, 6, 4, 23);
         let want = oracle(&a, &b, &mask);
         let mut acc: DenseAccumulator<PlusTimes, u16> = DenseAccumulator::new(6);
-        assert_eq!(run_all(row_mask_accumulate, &a, &b, &mask, &mut acc), want);
-        assert_eq!(run_all(row_coiterate, &a, &b, &mask, &mut acc), want);
+        assert_eq!(run_all(vec_mask_accumulate, &a, &b, &mask, &mut acc), want);
+        assert_eq!(run_all(vec_coiterate, &a, &b, &mask, &mut acc), want);
     }
 }

@@ -44,7 +44,7 @@ pub mod model;
 pub mod presets;
 pub mod tuner;
 
-pub use config::{Config, IterationSpace};
+pub use config::{Assembly, Config, IterationSpace};
 pub use dot::{masked_spgemm_csc, masked_spgemm_dot};
 pub use driver::{masked_spgemm, masked_spgemm_with_stats, RunStats};
 pub use driver2d::masked_spgemm_2d;

@@ -114,6 +114,7 @@ pub fn predict_config<S: Semiring>(
             schedule: Schedule::Dynamic { chunk: 1 },
             accumulator,
             iteration,
+            assembly: crate::config::Assembly::InPlace,
         },
         reasons,
     }

@@ -9,7 +9,7 @@
 //! policies with everything else held equal — which is exactly the
 //! methodological point of the paper.
 
-use crate::config::{Config, IterationSpace};
+use crate::config::{Assembly, Config, IterationSpace};
 use mspgemm_accum::{AccumulatorKind, MarkerWidth};
 use mspgemm_sched::{Schedule, TilingStrategy};
 use mspgemm_sparse::{Csr, Semiring};
@@ -33,12 +33,23 @@ pub enum Preset {
     /// intermediate tile count, dynamic scheduling, hybrid κ = 1, 32-bit
     /// markers (the §V recommendations).
     Tuned,
+    /// [`Tuned`](Self::Tuned) with the guided (decaying-chunk) claim mode:
+    /// early grabs take large chunks, the tail shrinks to single tiles.
+    /// An extension beyond the paper's static/dynamic sweep — kept out of
+    /// [`all`](Self::all) so Fig. 1 stays shaped like the paper's legend.
+    TunedGuided,
 }
 
 impl Preset {
-    /// All presets in Fig. 1's legend order.
+    /// The presets in Fig. 1's legend order.
     pub fn all() -> [Preset; 3] {
         [Preset::SuiteSparseLike, Preset::GrBLike, Preset::Tuned]
+    }
+
+    /// Fig. 1's legend plus the guided-scheduling extension, for harnesses
+    /// that sweep the full claim-mode space.
+    pub fn extended() -> [Preset; 4] {
+        [Preset::SuiteSparseLike, Preset::GrBLike, Preset::Tuned, Preset::TunedGuided]
     }
 
     /// Display name used by the Fig. 1 harness.
@@ -47,6 +58,7 @@ impl Preset {
             Preset::SuiteSparseLike => "SuiteSparse:GraphBLAS (policy)",
             Preset::GrBLike => "GrB (policy)",
             Preset::Tuned => "Ours (tuned)",
+            Preset::TunedGuided => "Ours (tuned, guided)",
         }
     }
 }
@@ -77,6 +89,7 @@ pub fn preset_config<S: Semiring>(
             schedule: Schedule::Static,
             accumulator: AccumulatorKind::Hash(MarkerWidth::W64),
             iteration: IterationSpace::MaskAccumulate,
+            assembly: Assembly::InPlace,
         },
         Preset::SuiteSparseLike => Config {
             n_threads: p,
@@ -85,6 +98,7 @@ pub fn preset_config<S: Semiring>(
             schedule: Schedule::Dynamic { chunk: 1 },
             accumulator: suitesparse_accumulator_heuristic::<S>(a, b, mask),
             iteration: IterationSpace::Hybrid { kappa: 1.0 },
+            assembly: Assembly::InPlace,
         },
         Preset::Tuned => Config {
             n_threads: p,
@@ -93,6 +107,11 @@ pub fn preset_config<S: Semiring>(
             schedule: Schedule::Dynamic { chunk: 1 },
             accumulator: AccumulatorKind::Hash(MarkerWidth::W32),
             iteration: IterationSpace::Hybrid { kappa: 1.0 },
+            assembly: Assembly::InPlace,
+        },
+        Preset::TunedGuided => Config {
+            schedule: Schedule::Guided { chunk: 1 },
+            ..preset_config::<S>(Preset::Tuned, a, b, mask, n_threads)
         },
     }
 }
@@ -194,8 +213,20 @@ mod tests {
 
     #[test]
     fn presets_enumerate_and_label() {
-        assert_eq!(Preset::all().len(), 3);
+        assert_eq!(Preset::all().len(), 3, "Fig. 1's legend stays three-way");
+        assert_eq!(Preset::extended().len(), 4);
+        assert!(Preset::extended().starts_with(&Preset::all()));
         assert!(Preset::GrBLike.label().contains("GrB"));
         assert!(Preset::Tuned.label().contains("tuned"));
+        assert!(Preset::TunedGuided.label().contains("guided"));
+    }
+
+    #[test]
+    fn tuned_guided_differs_from_tuned_only_in_schedule() {
+        let a = banded(64, 2);
+        let tuned = preset_config::<PlusTimes>(Preset::Tuned, &a, &a, &a, 3);
+        let guided = preset_config::<PlusTimes>(Preset::TunedGuided, &a, &a, &a, 3);
+        assert_eq!(guided.schedule, Schedule::Guided { chunk: 1 });
+        assert_eq!(Config { schedule: tuned.schedule, ..guided }, tuned);
     }
 }

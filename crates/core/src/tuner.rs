@@ -114,6 +114,7 @@ pub fn tune<S: Semiring>(
                         schedule,
                         accumulator: family,
                         iteration: IterationSpace::MaskAccumulate,
+                        assembly: crate::config::Assembly::InPlace,
                     };
                     let time = time_config::<S>(a, b, mask, &config, opts.reps);
                     stage1.push(Measurement { config, time });

@@ -96,7 +96,8 @@ catalogue! { Counter, COUNTERS_ALL, N_COUNTERS;
     KernelBinarySearchSteps => "kernel.binary_search_steps",
     DriverRuns => "driver.runs",
     DriverTileOutputNnz => "driver.tile_output_nnz",
-    DriverStitchBytes => "driver.fragment_stitch_bytes",
+    DriverCompactionBytes => "driver.compaction_bytes",
+    DriverSlackNnz => "driver.slack_nnz",
     DriverRetriedTiles => "driver.retried_tiles",
     GrbMxmMasked => "grb.mxm_masked",
     GrbMxmUnmasked => "grb.mxm_unmasked",

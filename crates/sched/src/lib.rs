@@ -25,9 +25,11 @@
 //! headline recommendation is `balanced_tiles(~2048) × Dynamic` (§V-A).
 
 pub mod pool;
+pub mod slots;
 pub mod tile;
 pub mod work;
 
 pub use pool::{catch_tile_panic, run_tiles, ExecError, Schedule, ThreadReport, TileFailure};
+pub use slots::DisjointSlots;
 pub use tile::{balanced_tiles, uniform_tiles, Tile, TilingStrategy};
 pub use work::{row_work, total_work};

@@ -90,6 +90,13 @@ impl Schedule {
         [Schedule::Dynamic { chunk: 1 }, Schedule::Static]
     }
 
+    /// The paper's sweep plus the guided extension — what harnesses that
+    /// exercise the full claim-mode space iterate over. Kept separate from
+    /// [`all`](Self::all) so the figure sweeps stay shaped like the paper.
+    pub fn all_extended() -> [Schedule; 3] {
+        [Schedule::Dynamic { chunk: 1 }, Schedule::Static, Schedule::Guided { chunk: 1 }]
+    }
+
     /// Label matching the paper's figures.
     pub fn label(&self) -> &'static str {
         match self {
@@ -749,6 +756,35 @@ mod tests {
     }
 
     #[test]
+    fn worker_state_persists_across_all_claimed_tiles() {
+        // the worker-persistent-scratch contract: on a healthy run, init
+        // runs exactly once per worker no matter how many tiles that
+        // worker claims, so state built there (accumulators, staging
+        // buffers) amortises to zero steady-state allocation
+        for schedule in Schedule::all_extended() {
+            let inits = AtomicU64::new(0);
+            let reports = run_tiles(
+                3,
+                48,
+                schedule,
+                |_| {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    0u64
+                },
+                |seen, _tile| *seen += 1,
+            )
+            .unwrap();
+            let active = reports.iter().filter(|r| r.tiles_run > 0).count() as u64;
+            assert_eq!(
+                inits.load(Ordering::Relaxed),
+                active,
+                "exactly one init per worker that claimed work, {schedule:?}"
+            );
+            assert_eq!(reports.iter().map(|r| r.tiles_run).sum::<usize>(), 48);
+        }
+    }
+
+    #[test]
     fn failing_init_reports_the_claimed_tiles() {
         // worker 1's init always fails: under static scheduling its whole
         // block surfaces as failures, nothing silently vanishes
@@ -837,6 +873,9 @@ mod tests {
     fn schedule_labels() {
         assert_eq!(Schedule::Static.label(), "Static");
         assert_eq!(Schedule::Dynamic { chunk: 1 }.label(), "Dynamic");
-        assert_eq!(Schedule::all().len(), 2);
+        assert_eq!(Schedule::Guided { chunk: 1 }.label(), "Guided");
+        assert_eq!(Schedule::all().len(), 2, "the paper's sweep stays two-policy");
+        assert_eq!(Schedule::all_extended().len(), 3);
+        assert!(Schedule::all_extended().starts_with(&Schedule::all()));
     }
 }

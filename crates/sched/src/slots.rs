@@ -1,0 +1,145 @@
+//! Disjoint-slice handout for in-place parallel assembly.
+//!
+//! The driver preallocates one output buffer sized by the mask bound and
+//! carves it into per-tile slots `[mask.row_ptr[tile.lo], mask.row_ptr[tile.hi])`.
+//! Those ranges never overlap, so every tile may hold `&mut` into the same
+//! allocation simultaneously — but safe Rust cannot express "a `Vec` split
+//! into N mutable pieces claimed from N threads in arbitrary order".
+//! [`DisjointSlots`] is that primitive: it validates the ranges once at
+//! construction, then hands each range out **at most once** via an atomic
+//! claim flag. The `unsafe` is confined to the two `from_raw_parts_mut`
+//! calls below and is sound because (a) ranges are checked disjoint and
+//! in-bounds, and (b) the claim flag makes every range exclusive.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A mutable buffer pre-split into validated, non-overlapping ranges, each
+/// claimable exactly once from any thread.
+pub struct DisjointSlots<'a, T> {
+    base: *mut T,
+    ranges: Vec<(usize, usize)>,
+    claimed: Vec<AtomicBool>,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// Sound: each (base+lo..base+hi) window is reachable from exactly one
+// `take` call, so the slots behave like independent `&mut [T]`s.
+unsafe impl<T: Send> Send for DisjointSlots<'_, T> {}
+unsafe impl<T: Send> Sync for DisjointSlots<'_, T> {}
+
+impl<'a, T> DisjointSlots<'a, T> {
+    /// Split `data` into the given half-open `[lo, hi)` ranges.
+    ///
+    /// The ranges must be sorted and pairwise disjoint (`hi[k] ≤ lo[k+1]`)
+    /// and in-bounds; gaps are fine (the skipped elements are simply never
+    /// handed out). Returns a message instead of panicking so the driver
+    /// can surface a structured error.
+    pub fn new(data: &'a mut [T], ranges: Vec<(usize, usize)>) -> Result<Self, String> {
+        let len = data.len();
+        let mut prev_hi = 0usize;
+        for (k, &(lo, hi)) in ranges.iter().enumerate() {
+            if lo > hi || hi > len {
+                return Err(format!(
+                    "slot {k} range [{lo}, {hi}) out of bounds for buffer of length {len}"
+                ));
+            }
+            if lo < prev_hi {
+                return Err(format!(
+                    "slot {k} range [{lo}, {hi}) overlaps previous slot ending at {prev_hi}"
+                ));
+            }
+            prev_hi = hi;
+        }
+        let claimed = ranges.iter().map(|_| AtomicBool::new(false)).collect();
+        Ok(DisjointSlots { base: data.as_mut_ptr(), ranges, claimed, _marker: PhantomData })
+    }
+
+    /// Number of slots (claimed or not).
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// True when there are no slots at all.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Claim slot `idx`, returning its exclusive slice. `None` if `idx` is
+    /// out of range or the slot was already claimed — the caller treats a
+    /// double claim as a scheduler bug and skips the tile.
+    pub fn take(&self, idx: usize) -> Option<&'a mut [T]> {
+        let &(lo, hi) = self.ranges.get(idx)?;
+        if self.claimed[idx].swap(true, Ordering::AcqRel) {
+            return None;
+        }
+        // SAFETY: [lo, hi) is in-bounds (validated in `new`), disjoint from
+        // every other slot, and the swap above guarantees exclusivity.
+        Some(unsafe { std::slice::from_raw_parts_mut(self.base.add(lo), hi - lo) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hands_out_each_range_once() {
+        let mut buf = vec![0u32; 10];
+        let slots = DisjointSlots::new(&mut buf, vec![(0, 3), (3, 3), (5, 10)]).unwrap();
+        assert_eq!(slots.len(), 3);
+        let s0 = slots.take(0).unwrap();
+        assert_eq!(s0.len(), 3);
+        let s1 = slots.take(1).unwrap();
+        assert!(s1.is_empty(), "empty range yields empty slice");
+        let s2 = slots.take(2).unwrap();
+        assert_eq!(s2.len(), 5);
+        assert!(slots.take(0).is_none(), "double claim refused");
+        assert!(slots.take(3).is_none(), "out of range refused");
+        s0.fill(1);
+        s2.fill(2);
+        drop(slots);
+        assert_eq!(buf, [1, 1, 1, 0, 0, 2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn rejects_overlapping_and_out_of_bounds_ranges() {
+        let mut buf = vec![0u8; 8];
+        assert!(DisjointSlots::new(&mut buf, vec![(0, 5), (4, 8)]).is_err(), "overlap");
+        let mut buf = vec![0u8; 8];
+        assert!(DisjointSlots::new(&mut buf, vec![(0, 9)]).is_err(), "past end");
+        let mut buf = vec![0u8; 8];
+        assert!(DisjointSlots::new(&mut buf, vec![(5, 3)]).is_err(), "inverted");
+        let mut buf = vec![0u8; 8];
+        assert!(
+            DisjointSlots::new(&mut buf, vec![(0, 2), (4, 6)]).is_ok(),
+            "gaps are allowed"
+        );
+    }
+
+    #[test]
+    fn concurrent_claims_write_disjointly() {
+        let n = 64usize;
+        let per = 100usize;
+        let mut buf = vec![0usize; n * per];
+        let ranges: Vec<_> = (0..n).map(|k| (k * per, (k + 1) * per)).collect();
+        let slots = DisjointSlots::new(&mut buf, ranges).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let slots = &slots;
+                scope.spawn(move || {
+                    for k in (t..n).step_by(4) {
+                        let s = slots.take(k).expect("each slot claimed by one thread");
+                        for (off, v) in s.iter_mut().enumerate() {
+                            *v = k * per + off;
+                        }
+                    }
+                });
+            }
+        });
+        drop(slots);
+        for (i, v) in buf.iter().enumerate() {
+            assert_eq!(*v, i);
+        }
+    }
+}

@@ -55,6 +55,7 @@ fn main() {
                 Preset::SuiteSparseLike => "ss:gb",
                 Preset::GrBLike => "grb",
                 Preset::Tuned => "tuned",
+                Preset::TunedGuided => "guided",
             }
         );
     }

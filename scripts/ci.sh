@@ -83,6 +83,32 @@ if [ -n "$hits" ]; then
 fi
 echo "ok: accumulators and kernels are atomics-free"
 
+echo "== assembly bench smoke (legacy vs in-place) =="
+# The assembly ablation must run end-to-end at smoke scale and emit a
+# schema-valid mspgemm.bench/1 document comparing the two assembly paths.
+MSPGEMM_SCALE=0.02 MSPGEMM_BUDGET_MS=20 MSPGEMM_THREADS=2 \
+    cargo run --release --offline -q -p mspgemm-bench --bin assembly > /dev/null
+target/release/mspgemm check-metrics --file results/BENCH_assembly.json
+grep -q ',legacy,' results/assembly.csv || {
+    echo "FAIL: assembly.csv is missing the legacy rows" >&2; exit 1; }
+grep -q ',inplace,' results/assembly.csv || {
+    echo "FAIL: assembly.csv is missing the in-place rows" >&2; exit 1; }
+echo "ok: assembly ablation emits schema-valid BENCH_assembly.json"
+
+echo "== kernel allocation grep gate =="
+# The per-row kernels write through RowSink into preallocated slots; the
+# steady state must not allocate. Non-test kernel code therefore must not
+# construct growable Vecs (test modules, from #[cfg(test)] onward, are
+# exempt — they build Vec-backed sinks on purpose).
+hits=$(awk '/^#\[cfg\(test\)\]/ { exit } /Vec::new\(|Vec::with_capacity\(|vec!\[/ { print FILENAME ":" FNR ": " $0 }' \
+    crates/core/src/kernels.rs)
+if [ -n "$hits" ]; then
+    echo "FAIL: heap allocation in a per-row kernel loop:" >&2
+    echo "$hits" >&2
+    exit 1
+fi
+echo "ok: kernel non-test code performs no heap allocation"
+
 echo "== panic-hygiene grep gate =="
 # Non-test code of the pool and the driver must stay free of
 # .unwrap()/.expect(/panic! — panic isolation is only as good as the code

@@ -140,6 +140,13 @@ fn check_metrics_doc(doc: &json::Value) -> Result<String, String> {
         for (name, v) in counters {
             v.as_num().ok_or(format!("counter {name:?} is not a number"))?;
         }
+        // the assembly counters are part of the stable catalogue: snapshots
+        // emit every name (zeros included), so absence means a stale schema
+        for required in ["driver.compaction_bytes", "driver.slack_nnz"] {
+            if !counters.iter().any(|(name, _)| name == required) {
+                return Err(format!("missing required counter {required:?}"));
+            }
+        }
         let hists = doc
             .get("histograms")
             .and_then(|v| v.as_obj())
@@ -218,9 +225,13 @@ fn usage() -> ! {
            --tiles <n>         tile count (default 2048)\n\
            --tiling <balanced|uniform>\n\
            --schedule <static|dynamic|guided>\n\
+           --chunk <n>         claim granularity for dynamic/guided (default 1;\n\
+                               guided decays from n toward 1 as the queue drains)\n\
            --acc <dense|hash><8|16|32|64> | sort   (default hash32)\n\
            --iter <vanilla|mask|coiter|hybrid>     (default hybrid)\n\
            --kappa <f>         co-iteration factor (default 1.0)\n\
+           --assembly <inplace|legacy>             output assembly (default inplace:\n\
+                               mask-bounded slots + parallel compaction)\n\
            --bands <n>         2-D tiling column bands (default 1)\n\
            --reps <n>          timing repetitions (default 3)\n\
          \n\
@@ -299,13 +310,27 @@ fn parse_config(flags: &HashMap<String, String>) -> Config {
             }
         };
     }
+    let chunk: usize = flags.get("chunk").map(|c| c.parse().expect("bad --chunk")).unwrap_or(1);
     if let Some(s) = flags.get("schedule") {
         cfg.schedule = match s.as_str() {
             "static" => Schedule::Static,
-            "dynamic" => Schedule::Dynamic { chunk: 1 },
-            "guided" => Schedule::Guided { chunk: 1 },
+            "dynamic" => Schedule::Dynamic { chunk },
+            "guided" => Schedule::Guided { chunk },
             other => {
                 eprintln!("bad --schedule {other:?}");
+                usage();
+            }
+        };
+    } else if chunk != 1 {
+        // --chunk without --schedule adjusts the default dynamic schedule
+        cfg.schedule = Schedule::Dynamic { chunk };
+    }
+    if let Some(a) = flags.get("assembly") {
+        cfg.assembly = match a.as_str() {
+            "inplace" => Assembly::InPlace,
+            "legacy" => Assembly::Legacy,
+            other => {
+                eprintln!("bad --assembly {other:?}");
                 usage();
             }
         };

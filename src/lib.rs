@@ -30,7 +30,7 @@ pub mod prelude {
     pub use mspgemm_accum::{AccumulatorKind, MarkerWidth};
     pub use mspgemm_core::{
         masked_spgemm, masked_spgemm_2d, masked_spgemm_csc, masked_spgemm_dot,
-        masked_spgemm_with_stats, predict_config, preset_config, tune, Config,
+        masked_spgemm_with_stats, predict_config, preset_config, tune, Assembly, Config,
         IterationSpace, Preset, TunerOptions,
     };
     pub use mspgemm_gen::{er, rmat, road, suite_graph, suite_specs, web, GraphKind};
