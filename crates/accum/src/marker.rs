@@ -3,7 +3,7 @@
 //! SuiteSparse:GraphBLAS resets its dense accumulator by bumping a 64-bit
 //! epoch ("marker") instead of clearing the array; a slot is valid only if
 //! its stored marker matches the current epoch. The paper's modification
-//! "relax[es] the marker to be less than 64 bits. This may lead to overflow
+//! "relax\[es\] the marker to be less than 64 bits. This may lead to overflow
 //! during marker increment, so overflow is detected and the state is fully
 //! reset when it occurs. This trades off the size of the state vector with
 //! the time taken to reset the vector."

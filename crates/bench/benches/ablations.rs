@@ -11,7 +11,7 @@ use mspgemm_bench::micro::{BenchmarkId, Micro};
 use mspgemm_bench::{micro_group, micro_main};
 use mspgemm_accum::{Accumulator, DenseAccumulator, DenseExplicitReset, VecSink};
 use mspgemm_core::kernels::row_mask_accumulate;
-use mspgemm_core::{masked_spgemm, Config, IterationSpace};
+use mspgemm_core::{spgemm, Config};
 use mspgemm_gen::{suite_graph, suite_specs};
 use mspgemm_graph::grb::two_step_masked;
 use mspgemm_sparse::{Csr, PlusPair};
@@ -32,9 +32,9 @@ fn bench_fused_vs_two_step(c: &mut Micro) {
         .measurement_time(Duration::from_millis(900));
     for name in ["com-LiveJournal", "GAP-road"] {
         let a = graph(name);
-        let cfg = Config { n_tiles: 256, ..Config::default() };
+        let cfg = Config::builder().n_tiles(256).build();
         group.bench_with_input(BenchmarkId::new("fused", name), &a, |b, a| {
-            b.iter(|| masked_spgemm::<PlusPair>(a, a, a, &cfg).unwrap());
+            b.iter(|| spgemm::<PlusPair>(a, a, a, &cfg).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("two_step", name), &a, |b, a| {
             b.iter(|| two_step_masked::<PlusPair>(a, a, a).unwrap());
@@ -88,13 +88,9 @@ fn bench_kappa_extremes(c: &mut Micro) {
         .measurement_time(Duration::from_millis(1200));
     for (label, kappa) in [("push_only_k0", 0.0), ("hybrid_k1", 1.0), ("pull_heavy_k100", 100.0)]
     {
-        let cfg = Config {
-            n_tiles: 256,
-            iteration: IterationSpace::Hybrid { kappa },
-            ..Config::default()
-        };
+        let cfg = Config::builder().n_tiles(256).hybrid(kappa).build();
         group.bench_function(label, |b| {
-            b.iter(|| masked_spgemm::<PlusPair>(&a, &a, &a, &cfg).unwrap());
+            b.iter(|| spgemm::<PlusPair>(&a, &a, &a, &cfg).unwrap());
         });
     }
     group.finish();
@@ -109,7 +105,7 @@ fn bench_2d_tiling(c: &mut Micro) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(1000));
-    let cfg = Config { n_tiles: 256, ..Config::default() };
+    let cfg = Config::builder().n_tiles(256).build();
     for bands in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::new("col_bands", bands), &a, |b, a| {
             b.iter(|| mspgemm_core::masked_spgemm_2d::<PlusPair>(a, a, a, &cfg, bands).unwrap());
@@ -131,9 +127,9 @@ fn bench_sort_accumulator_outsider(c: &mut Micro) {
         mspgemm_accum::AccumulatorKind::Hash(mspgemm_accum::MarkerWidth::W32),
         mspgemm_accum::AccumulatorKind::Sort,
     ] {
-        let cfg = Config { accumulator: acc, n_tiles: 256, ..Config::default() };
+        let cfg = Config::builder().accumulator(acc).n_tiles(256).build();
         group.bench_function(acc.label(), |b| {
-            b.iter(|| masked_spgemm::<PlusPair>(&a, &a, &a, &cfg).unwrap());
+            b.iter(|| spgemm::<PlusPair>(&a, &a, &a, &cfg).unwrap());
         });
     }
     group.finish();
@@ -156,10 +152,10 @@ fn bench_reordering(c: &mut Micro) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(900));
-    let cfg = Config { n_tiles: 256, ..Config::default() };
+    let cfg = Config::builder().n_tiles(256).build();
     for (label, g) in &orders {
         group.bench_function(*label, |b| {
-            b.iter(|| masked_spgemm::<PlusPair>(g, g, g, &cfg).unwrap());
+            b.iter(|| spgemm::<PlusPair>(g, g, g, &cfg).unwrap());
         });
     }
     group.finish();
@@ -180,10 +176,10 @@ fn bench_dot_vs_saxpy(c: &mut Micro) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(900));
-    let cfg = Config { n_tiles: 256, ..Config::default() };
+    let cfg = Config::builder().n_tiles(256).build();
     for (label, mask) in [("mask_eq_a", &a), ("mask_2pct", &thin_mask)] {
         group.bench_function(format!("saxpy/{label}"), |bch| {
-            bch.iter(|| masked_spgemm::<PlusPair>(&a, &a, mask, &cfg).unwrap());
+            bch.iter(|| spgemm::<PlusPair>(&a, &a, mask, &cfg).unwrap());
         });
         group.bench_function(format!("dot/{label}"), |bch| {
             bch.iter(|| masked_spgemm_dot::<PlusPair>(&a, &b_csc, mask, &cfg).unwrap());

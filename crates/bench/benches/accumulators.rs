@@ -6,7 +6,7 @@
 use mspgemm_bench::micro::{BenchmarkId, Micro};
 use mspgemm_bench::{micro_group, micro_main};
 use mspgemm_accum::AccumulatorKind;
-use mspgemm_core::{masked_spgemm, Config, IterationSpace};
+use mspgemm_core::{spgemm, Config};
 use mspgemm_gen::{suite_graph, suite_specs};
 use mspgemm_sparse::{Csr, PlusPair};
 use std::time::Duration;
@@ -27,17 +27,16 @@ fn bench_accumulators(c: &mut Micro) {
     for name in ["com-Orkut", "GAP-road"] {
         let a = graph(name);
         for accumulator in AccumulatorKind::all() {
-            let cfg = Config {
-                accumulator,
-                n_tiles: 256,
-                iteration: IterationSpace::Hybrid { kappa: 1.0 },
-                ..Config::default()
-            };
+            let cfg = Config::builder()
+                .accumulator(accumulator)
+                .n_tiles(256)
+                .hybrid(1.0)
+                .build();
             group.bench_with_input(
                 BenchmarkId::new(accumulator.label(), name),
                 &a,
                 |bencher, a| {
-                    bencher.iter(|| masked_spgemm::<PlusPair>(a, a, a, &cfg).unwrap());
+                    bencher.iter(|| spgemm::<PlusPair>(a, a, a, &cfg).unwrap());
                 },
             );
         }

@@ -7,7 +7,7 @@
 
 use mspgemm_bench::micro::{BenchmarkId, Micro};
 use mspgemm_bench::{micro_group, micro_main};
-use mspgemm_core::{masked_spgemm, Config, IterationSpace};
+use mspgemm_core::{spgemm, Config, IterationSpace};
 use mspgemm_gen::{suite_graph, suite_specs};
 use mspgemm_sparse::{Csr, PlusPair};
 use std::time::Duration;
@@ -42,12 +42,12 @@ fn bench_iteration_spaces(c: &mut Micro) {
             if label == "vanilla" && name == "circuit5M" {
                 continue;
             }
-            let cfg = Config { iteration, n_tiles: 256, ..Config::default() };
+            let cfg = Config::builder().iteration(iteration).n_tiles(256).build();
             group.bench_with_input(
                 BenchmarkId::new(label, &name),
                 &a,
                 |bencher, a| {
-                    bencher.iter(|| masked_spgemm::<PlusPair>(a, a, a, &cfg).unwrap());
+                    bencher.iter(|| spgemm::<PlusPair>(a, a, a, &cfg).unwrap());
                 },
             );
         }

@@ -5,7 +5,7 @@
 
 use mspgemm_bench::micro::{BenchmarkId, Micro};
 use mspgemm_bench::{micro_group, micro_main};
-use mspgemm_core::{masked_spgemm, Config, IterationSpace};
+use mspgemm_core::{spgemm, Config, IterationSpace};
 use mspgemm_gen::{suite_graph, suite_specs};
 use mspgemm_sched::{balanced_tiles, row_work, uniform_tiles, Schedule, TilingStrategy};
 use mspgemm_sparse::{Csr, PlusPair};
@@ -29,16 +29,15 @@ fn bench_tiling_sweep(c: &mut Micro) {
     for n_tiles in [8usize, 64, 512, 4096] {
         for tiling in TilingStrategy::all() {
             for schedule in Schedule::all() {
-                let cfg = Config {
-                    n_tiles,
-                    tiling,
-                    schedule,
-                    iteration: IterationSpace::MaskAccumulate,
-                    ..Config::default()
-                };
+                let cfg = Config::builder()
+                    .n_tiles(n_tiles)
+                    .tiling(tiling)
+                    .schedule(schedule)
+                    .iteration(IterationSpace::MaskAccumulate)
+                    .build();
                 let id = format!("{}/{}", tiling.label(), schedule.label());
                 group.bench_with_input(BenchmarkId::new(id, n_tiles), &a, |bencher, a| {
-                    bencher.iter(|| masked_spgemm::<PlusPair>(a, a, a, &cfg).unwrap());
+                    bencher.iter(|| spgemm::<PlusPair>(a, a, a, &cfg).unwrap());
                 });
             }
         }

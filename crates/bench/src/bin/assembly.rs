@@ -20,7 +20,7 @@
 //! Run: `cargo run --release -p mspgemm-bench --bin assembly`
 
 use mspgemm_bench::{measure, write_csv, BenchGraph, HarnessOptions};
-use mspgemm_core::{masked_spgemm_with_stats, Assembly, Config, IterationSpace};
+use mspgemm_core::{spgemm, Assembly, Config, IterationSpace};
 use mspgemm_rt::obs;
 use mspgemm_sched::{Schedule, TilingStrategy};
 use mspgemm_sparse::PlusPair;
@@ -28,15 +28,14 @@ use mspgemm_sparse::PlusPair;
 const TILE_COUNTS: [usize; 3] = [256, 2048, 8192];
 
 fn config(n_threads: usize, n_tiles: usize, assembly: Assembly) -> Config {
-    Config {
-        n_threads,
-        n_tiles,
-        tiling: TilingStrategy::FlopBalanced,
-        schedule: Schedule::Dynamic { chunk: 1 },
-        iteration: IterationSpace::MaskAccumulate,
-        assembly,
-        ..Config::default()
-    }
+    Config::builder()
+        .n_threads(n_threads)
+        .n_tiles(n_tiles)
+        .tiling(TilingStrategy::FlopBalanced)
+        .schedule(Schedule::Dynamic { chunk: 1 })
+        .iteration(IterationSpace::MaskAccumulate)
+        .assembly(assembly)
+        .build()
 }
 
 fn main() {
@@ -81,7 +80,7 @@ fn main() {
                 .expect("phase 1 covered every combination");
             for (i, (assembly, label)) in paths.iter().enumerate() {
                 let cfg = config(opts.threads, n_tiles, *assembly);
-                let (_, stats) = masked_spgemm_with_stats::<PlusPair>(&g.a, &g.a, &g.a, &cfg)
+                let (_, stats) = spgemm::<PlusPair>(&g.a, &g.a, &g.a, &cfg)
                     .expect("suite graphs are square and self-masked");
                 let m = stats.metrics.expect("armed run attaches a snapshot delta");
                 rows.push(format!(

@@ -18,7 +18,7 @@ fn main() {
     let graphs = BenchGraph::generate_suite(&opts);
 
     println!("Figure 1: masked-SpGEMM C = A ⊙ (A×A) runtime (ms), {} threads", {
-        let c = mspgemm_core::Config { n_threads: opts.threads, ..Default::default() };
+        let c = mspgemm_core::Config::builder().n_threads(opts.threads).build();
         c.resolved_threads()
     });
     println!(

@@ -50,7 +50,7 @@ fn measure_sweep(opts: &HarnessOptions) -> SweepData {
         .into_iter()
         .filter(|g| !(skip_circuit && g.spec.name == "circuit5M"))
         .collect();
-    let threads = Config { n_threads: opts.threads, ..Default::default() }.resolved_threads();
+    let threads = Config::builder().n_threads(opts.threads).build().resolved_threads();
     let grid = tile_grid(threads);
     let mut data: SweepData = BTreeMap::new();
     for tiling in [TilingStrategy::FlopBalanced, TilingStrategy::Uniform] {
@@ -60,15 +60,14 @@ fn measure_sweep(opts: &HarnessOptions) -> SweepData {
                 AccumulatorKind::Hash(MarkerWidth::W32),
             ] {
                 for &n_tiles in &grid {
-                    let cfg = Config {
-                        n_threads: opts.threads,
-                        n_tiles,
-                        tiling,
-                        schedule,
-                        accumulator: acc,
-                        iteration: IterationSpace::MaskAccumulate,
-                        ..Config::default()
-                    };
+                    let cfg = Config::builder()
+                        .n_threads(opts.threads)
+                        .n_tiles(n_tiles)
+                        .tiling(tiling)
+                        .schedule(schedule)
+                        .accumulator(acc)
+                        .iteration(IterationSpace::MaskAccumulate)
+                        .build();
                     eprintln!("[fig10] measuring {}", cfg.label());
                     let times: BTreeMap<String, f64> = graphs
                         .iter()

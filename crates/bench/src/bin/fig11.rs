@@ -31,7 +31,7 @@ fn main() {
         .filter(|g| !(skip_circuit && g.spec.name == "circuit5M"))
         .collect();
 
-    let threads = Config { n_threads: opts.threads, ..Default::default() }.resolved_threads();
+    let threads = Config::builder().n_threads(opts.threads).build().resolved_threads();
     let grid = tile_grid(threads);
     println!(
         "Figure 11: runtime (ms) vs tile count; {} threads, tiles {:?}",
@@ -58,15 +58,14 @@ fn main() {
                 for tiling in [TilingStrategy::FlopBalanced, TilingStrategy::Uniform] {
                     let mut pair = Vec::new();
                     for schedule in [Schedule::Static, Schedule::Dynamic { chunk: 1 }] {
-                        let cfg = Config {
-                            n_threads: opts.threads,
-                            n_tiles,
-                            tiling,
-                            schedule,
-                            accumulator: acc,
-                            iteration: IterationSpace::MaskAccumulate,
-                            ..Config::default()
-                        };
+                        let cfg = Config::builder()
+                            .n_threads(opts.threads)
+                            .n_tiles(n_tiles)
+                            .tiling(tiling)
+                            .schedule(schedule)
+                            .accumulator(acc)
+                            .iteration(IterationSpace::MaskAccumulate)
+                            .build();
                         let s = measure(g, &cfg, &opts);
                         pair.push(s.ms_reported());
                         rows.push(format!(

@@ -27,7 +27,7 @@ fn main() {
     };
 
     let threads = {
-        let c = mspgemm_core::Config { n_threads: opts.threads, ..Default::default() };
+        let c = mspgemm_core::Config::builder().n_threads(opts.threads).build();
         c.resolved_threads()
     };
     let tuner_opts = TunerOptions {
@@ -42,7 +42,8 @@ fn main() {
         }
         let g = BenchGraph::generate(&spec, &opts);
         println!("\n================ {} ================", spec.name);
-        let report = tune::<PlusPair>(&g.a, &g.a, &g.a, &tuner_opts);
+        let report = tune::<PlusPair>(&g.a, &g.a, &g.a, &tuner_opts)
+            .expect("suite graphs are square and the default grids are non-empty");
 
         println!("stage 1 (tiling × scheduling, no co-iteration):");
         for m in &report.stage1 {

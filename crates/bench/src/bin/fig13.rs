@@ -13,7 +13,7 @@
 
 use mspgemm_accum::{AccumulatorKind, MarkerWidth};
 use mspgemm_bench::{measure, pct_within_of_best, write_csv, BenchGraph, HarnessOptions};
-use mspgemm_core::{Config, IterationSpace};
+use mspgemm_core::Config;
 use mspgemm_sched::{Schedule, TilingStrategy};
 
 fn main() {
@@ -30,15 +30,14 @@ fn main() {
     let times: Vec<Vec<f64>> = kinds
         .iter()
         .map(|&acc| {
-            let cfg = Config {
-                n_threads: opts.threads,
-                n_tiles: 2048,
-                tiling: TilingStrategy::FlopBalanced,
-                schedule: Schedule::Dynamic { chunk: 1 },
-                accumulator: acc,
-                iteration: IterationSpace::Hybrid { kappa: 1.0 },
-                ..Config::default()
-            };
+            let cfg = Config::builder()
+                .n_threads(opts.threads)
+                .n_tiles(2048)
+                .tiling(TilingStrategy::FlopBalanced)
+                .schedule(Schedule::Dynamic { chunk: 1 })
+                .accumulator(acc)
+                .hybrid(1.0)
+                .build();
             eprintln!("[fig13] {}", acc.label());
             graphs.iter().map(|g| measure(g, &cfg, &opts).ms_reported()).collect()
         })

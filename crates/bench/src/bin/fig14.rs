@@ -35,14 +35,15 @@ fn main() {
         })
         .collect();
 
-    let base = |acc| Config {
-        n_threads: opts.threads,
-        n_tiles: 2048,
-        tiling: TilingStrategy::FlopBalanced,
-        schedule: Schedule::Dynamic { chunk: 1 },
-        accumulator: acc,
-        iteration: IterationSpace::MaskAccumulate,
-        ..Config::default()
+    let base = |acc| {
+        Config::builder()
+            .n_threads(opts.threads)
+            .n_tiles(2048)
+            .tiling(TilingStrategy::FlopBalanced)
+            .schedule(Schedule::Dynamic { chunk: 1 })
+            .accumulator(acc)
+            .iteration(IterationSpace::MaskAccumulate)
+            .build()
     };
 
     println!("Figure 14: runtime (ms) vs co-iteration factor (2048 balanced tiles, dynamic)");
@@ -64,10 +65,7 @@ fn main() {
                 AccumulatorKind::Dense(MarkerWidth::W32),
                 AccumulatorKind::Hash(MarkerWidth::W32),
             ] {
-                let cfg = Config {
-                    iteration: IterationSpace::Hybrid { kappa },
-                    ..base(acc)
-                };
+                let cfg = base(acc).to_builder().hybrid(kappa).build();
                 let s = measure(g, &cfg, &opts);
                 times.push(s.ms_reported());
             }

@@ -39,7 +39,7 @@ fn main() {
         let mut line = format!("{:<16}", g.spec.name);
         let mut t1 = None;
         for &t in &threads {
-            let cfg = Config { n_threads: t, ..Config::default() };
+            let cfg = Config::builder().n_threads(t).build();
             let s = measure(g, &cfg, &opts);
             let ms = s.ms_reported();
             if t == 1 {

@@ -1,0 +1,145 @@
+//! Amortized plan reuse vs one-shot dispatch — the executor's raison d'être.
+//!
+//! The paper times the kernel alone; a real workload (triangle counting,
+//! k-truss peeling, BFS frontiers — §I) calls the same masked product over
+//! and over on a fixed structure. Every one-shot call re-pays the symbolic
+//! phase — Eq. 2 work estimates over all of `A`, FLOP-balanced tile
+//! boundaries, the mask slot prefix sum — plus output-buffer allocation.
+//! A [`Plan`](mspgemm_core::Plan) pays it once and re-executes; the
+//! persistent [`Executor`]
+//! keeps the worker threads parked in between.
+//!
+//! Two iterated same-structure scenarios per graph:
+//!
+//! * **tri** — the paper's triangle workload `C = A ⊙ (A × A)`: the
+//!   numeric phase touches every mask entry, so the symbolic phase is a
+//!   modest fraction and the reuse win is correspondingly modest;
+//! * **bfs** — a frontier-style query: the mask keeps only every 8th row
+//!   of `A` (a fixed frontier re-queried as values change). The numeric
+//!   phase shrinks with the frontier while the one-shot symbolic phase
+//!   still walks all of `A`, so plan reuse pays off hardest here.
+//!
+//! Columns: `oneshot` is the legacy calling convention (`spgemm` per
+//! iteration, plan + execute every time), `amortized` is one [`Session`]
+//! executing a reused plan, `single` is a fresh plan + one execution
+//! (checking that planning up front costs ~nothing without reuse). All
+//! times are best-of-`iters`: on a shared machine the minimum is the
+//! stable estimator (noise only ever adds time).
+//!
+//! Run: `cargo run --release -p mspgemm-bench --bin session [iters]`
+//! (`MSPGEMM_SCALE` scales the graphs as usual; `iters` defaults to 25).
+
+use mspgemm_bench::{write_csv, BenchGraph, HarnessOptions};
+use mspgemm_core::{predict_config, spgemm, Config, Executor, Session};
+use mspgemm_gen::suite_specs;
+use mspgemm_sparse::{Coo, Csr, PlusPair};
+use std::time::Instant;
+
+const GRAPHS: [&str; 3] = ["GAP-road", "europe_osm", "as-Skitter"];
+const FRONTIER_STRIDE: usize = 8;
+
+/// The mask restricted to every `stride`-th row — a fixed BFS-style
+/// frontier whose structure survives across iterations.
+fn frontier_mask(a: &Csr<u64>, stride: usize) -> Csr<u64> {
+    let mut coo = Coo::new(a.nrows(), a.ncols());
+    for i in (0..a.nrows()).step_by(stride) {
+        let (cols, _) = a.row(i);
+        for &j in cols {
+            coo.push(i, j as usize, 1u64);
+        }
+    }
+    coo.to_csr_with(|v, _| v)
+}
+
+struct Measured {
+    oneshot: f64,
+    amortized: f64,
+    single: f64,
+}
+
+fn run_scenario(a: &Csr<u64>, mask: &Csr<u64>, cfg: &Config, iters: usize) -> Measured {
+    // warm everything: worker threads spawned, allocator primed
+    let _ = spgemm::<PlusPair>(a, a, mask, cfg).expect("suite graph is square");
+
+    // one-shot: the legacy calling convention, full pipeline per call
+    let mut oneshot = f64::MAX;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let _ = spgemm::<PlusPair>(a, a, mask, cfg).expect("one-shot run");
+        oneshot = oneshot.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+
+    // amortized: plan once, execute `iters` times
+    let mut session = Session::<PlusPair>::new(*cfg);
+    let _ = session.execute(a, a, mask).expect("plan build + warm-up");
+    let mut amortized = f64::MAX;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let _ = session.execute(a, a, mask).expect("planned run");
+        amortized = amortized.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    assert_eq!(session.rebuilds(), 0, "fixed structure must never rebuild");
+
+    // single-shot: a fresh plan + one execution each cycle (same sample
+    // count as the other columns so the min estimators are comparable)
+    let mut single = f64::MAX;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let mut plan =
+            Executor::global().plan::<PlusPair>(a, a, mask, cfg).expect("plan build");
+        let _ = plan.execute(a, a, mask).expect("single planned run");
+        single = single.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+
+    Measured { oneshot, amortized, single }
+}
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    let iters: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25)
+        .max(20); // the amortization claim needs a real loop
+
+    println!("Session amortization: {} iterations", iters);
+    println!(
+        "{:<14} {:<5} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "graph", "scen", "oneshot ms", "amort ms", "single ms", "amort x", "single x"
+    );
+
+    let mut rows = Vec::new();
+    for spec in suite_specs().iter().filter(|s| GRAPHS.contains(&s.name)) {
+        eprintln!("[gen] {} (scale {})", spec.name, opts.scale);
+        let g = BenchGraph::generate(spec, &opts);
+        let a = &g.a;
+        let frontier = frontier_mask(a, FRONTIER_STRIDE);
+
+        for (scen, mask) in [("tri", a), ("bfs", &frontier)] {
+            // per-scenario predicted configuration (the model module's
+            // one-pass prediction): sensible tile counts for the graph's
+            // size and skew, so neither path is dominated by per-tile
+            // dispatch overhead
+            let cfg = predict_config::<PlusPair>(a, a, mask, opts.threads).config;
+            let m = run_scenario(a, mask, &cfg, iters);
+            let amort_x = m.oneshot / m.amortized;
+            let single_x = m.oneshot / m.single;
+            println!(
+                "{:<14} {:<5} {:>12.3} {:>12.3} {:>12.3} {:>10.2} {:>10.2}",
+                spec.name, scen, m.oneshot, m.amortized, m.single, amort_x, single_x
+            );
+            rows.push(format!(
+                "{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4}",
+                spec.name, scen, iters, m.oneshot, m.amortized, m.single, amort_x, single_x
+            ));
+        }
+    }
+
+    let path = write_csv(
+        "session.csv",
+        "graph,scenario,iters,oneshot_ms,amortized_ms,single_ms,speedup_amortized,speedup_single",
+        &rows,
+    )
+    .expect("write results/session.csv");
+    println!("\nwrote {}", path.display());
+}

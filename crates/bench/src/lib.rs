@@ -24,7 +24,7 @@
 
 pub mod micro;
 
-use mspgemm_core::{masked_spgemm_with_stats, Config};
+use mspgemm_core::{spgemm, Config};
 use mspgemm_gen::{suite_graph, suite_specs, SuiteSpec};
 use mspgemm_sparse::{Csr, PlusPair};
 use std::time::{Duration, Instant};
@@ -131,14 +131,14 @@ impl Sample {
 pub fn measure(graph: &BenchGraph, config: &Config, opts: &HarnessOptions) -> Sample {
     let a = &graph.a;
     // warm-up
-    let _ = masked_spgemm_with_stats::<PlusPair>(a, a, a, config)
+    let _ = spgemm::<PlusPair>(a, a, a, config)
         .expect("suite graphs are square and self-masked");
     let start = Instant::now();
     let mut total = Duration::ZERO;
     let mut min = Duration::MAX;
     let mut iters = 0usize;
     while iters < opts.max_iters.max(1) && (iters == 0 || start.elapsed() < opts.budget) {
-        let (_, stats) = masked_spgemm_with_stats::<PlusPair>(a, a, a, config).unwrap();
+        let (_, stats) = spgemm::<PlusPair>(a, a, a, config).unwrap();
         total += stats.elapsed;
         min = min.min(stats.elapsed);
         iters += 1;
@@ -325,7 +325,7 @@ mod tests {
         };
         let spec = suite_specs()[6]; // GAP-road, small
         let g = BenchGraph::generate(&spec, &opts);
-        let cfg = Config { n_threads: 2, n_tiles: 8, ..Config::default() };
+        let cfg = Config::builder().n_threads(2).n_tiles(8).build();
         let s = measure(&g, &cfg, &opts);
         assert!(s.iters >= 1 && s.iters <= 5);
         assert!(s.min <= s.mean);

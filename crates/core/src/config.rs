@@ -6,7 +6,11 @@ use mspgemm_sched::{Schedule, TilingStrategy};
 
 /// How the multiplication and masking are traversed — the paper's second
 /// dimension (§III-B).
+///
+/// Marked `#[non_exhaustive]`: downstream `match`es need a wildcard arm,
+/// so new traversal strategies can be added without a breaking release.
 #[derive(Clone, Copy, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum IterationSpace {
     /// Fig. 3: accumulate every intermediate product, intersect with the
     /// mask only at gather time. "Requires a large buffer ... and incurs
@@ -42,7 +46,10 @@ impl IterationSpace {
 }
 
 /// How the per-row kernel outputs become the final CSR matrix.
+///
+/// Marked `#[non_exhaustive]`: downstream `match`es need a wildcard arm.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum Assembly {
     /// Mask-bounded in-place assembly: the output `cols`/`vals` buffers are
     /// preallocated once at `nnz(M)` capacity, each row writes directly
@@ -70,7 +77,12 @@ impl Assembly {
 
 /// Full driver configuration — the cross product the Fig. 10/11 sweeps
 /// explore.
+///
+/// Marked `#[non_exhaustive]`: construct it with [`Config::builder`] (or
+/// start from [`Config::default`] and assign fields) so new performance
+/// dimensions can be added without breaking downstream code.
 #[derive(Clone, Copy, Debug, PartialEq)]
+#[non_exhaustive]
 pub struct Config {
     /// Worker threads. `0` means "use all available cores".
     pub n_threads: usize,
@@ -108,7 +120,101 @@ impl Default for Config {
     }
 }
 
+/// Fluent constructor for [`Config`], starting from the paper's
+/// recommended defaults:
+///
+/// ```
+/// use mspgemm_core::Config;
+/// let cfg = Config::builder().n_threads(2).n_tiles(512).hybrid(1.0).build();
+/// assert_eq!(cfg.n_tiles, 512);
+/// ```
+///
+/// With `Config` marked `#[non_exhaustive]`, this is the way downstream
+/// crates express "defaults, except these axes" — struct literals and
+/// `..Default::default()` functional updates only work inside this crate.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ConfigBuilder {
+    cfg: Config,
+}
+
+impl ConfigBuilder {
+    /// Start from [`Config::default`] — the paper's recommended point.
+    pub fn new() -> Self {
+        ConfigBuilder::default()
+    }
+
+    /// Worker threads; `0` means "use all available cores".
+    pub fn n_threads(mut self, n: usize) -> Self {
+        self.cfg.n_threads = n;
+        self
+    }
+
+    /// Number of row tiles; `0` means "one per thread".
+    pub fn n_tiles(mut self, n: usize) -> Self {
+        self.cfg.n_tiles = n;
+        self
+    }
+
+    /// Uniform vs FLOP-balanced tiling (Fig. 6).
+    pub fn tiling(mut self, tiling: TilingStrategy) -> Self {
+        self.cfg.tiling = tiling;
+        self
+    }
+
+    /// Static / dynamic / guided tile scheduling.
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.cfg.schedule = schedule;
+        self
+    }
+
+    /// Accumulator family and marker width (§III-C).
+    pub fn accumulator(mut self, accumulator: AccumulatorKind) -> Self {
+        self.cfg.accumulator = accumulator;
+        self
+    }
+
+    /// Iteration space (§III-B).
+    pub fn iteration(mut self, iteration: IterationSpace) -> Self {
+        self.cfg.iteration = iteration;
+        self
+    }
+
+    /// Shorthand for the hybrid iteration space at co-iteration factor κ
+    /// (Eq. 3); κ = 1 is the paper's validated default.
+    pub fn hybrid(mut self, kappa: f64) -> Self {
+        self.cfg.iteration = IterationSpace::Hybrid { kappa };
+        self
+    }
+
+    /// Output assembly strategy.
+    pub fn assembly(mut self, assembly: Assembly) -> Self {
+        self.cfg.assembly = assembly;
+        self
+    }
+
+    /// Finish, yielding the configured [`Config`].
+    pub fn build(self) -> Config {
+        self.cfg
+    }
+}
+
+impl From<Config> for ConfigBuilder {
+    fn from(cfg: Config) -> Self {
+        ConfigBuilder { cfg }
+    }
+}
+
 impl Config {
+    /// Fluent constructor starting from the recommended defaults.
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder::new()
+    }
+
+    /// Reopen this configuration as a builder, to derive a variant.
+    pub fn to_builder(self) -> ConfigBuilder {
+        ConfigBuilder { cfg: self }
+    }
+
     /// Resolve `n_threads == 0` to the machine's parallelism.
     pub fn resolved_threads(&self) -> usize {
         if self.n_threads > 0 {
@@ -171,6 +277,43 @@ mod tests {
         c.n_tiles = 4096;
         assert_eq!(c.resolved_tiles(100), 100, "tiles capped at row count");
         assert_eq!(c.resolved_tiles(0), 1);
+    }
+
+    #[test]
+    fn builder_round_trips_every_axis() {
+        let cfg = Config::builder()
+            .n_threads(3)
+            .n_tiles(64)
+            .tiling(TilingStrategy::Uniform)
+            .schedule(Schedule::Guided { chunk: 2 })
+            .accumulator(AccumulatorKind::Sort)
+            .iteration(IterationSpace::CoIterate)
+            .assembly(Assembly::Legacy)
+            .build();
+        assert_eq!(cfg.n_threads, 3);
+        assert_eq!(cfg.n_tiles, 64);
+        assert_eq!(cfg.tiling, TilingStrategy::Uniform);
+        assert_eq!(cfg.schedule, Schedule::Guided { chunk: 2 });
+        assert_eq!(cfg.accumulator, AccumulatorKind::Sort);
+        assert_eq!(cfg.iteration, IterationSpace::CoIterate);
+        assert_eq!(cfg.assembly, Assembly::Legacy);
+    }
+
+    #[test]
+    fn builder_defaults_match_config_default() {
+        assert_eq!(Config::builder().build(), Config::default());
+        assert_eq!(ConfigBuilder::new().build(), Config::default());
+    }
+
+    #[test]
+    fn hybrid_shorthand_and_to_builder() {
+        let cfg = Config::builder().hybrid(0.5).build();
+        assert!(matches!(cfg.iteration, IterationSpace::Hybrid { kappa } if kappa == 0.5));
+        let derived = cfg.to_builder().n_tiles(9).build();
+        assert_eq!(derived.n_tiles, 9);
+        assert_eq!(derived.iteration, cfg.iteration);
+        let via_from: ConfigBuilder = cfg.into();
+        assert_eq!(via_from.build(), cfg);
     }
 
     #[test]

@@ -173,7 +173,7 @@ pub fn masked_spgemm_csc<S: Semiring>(
     mask: &Csc<S::T>,
     config: &Config,
 ) -> Result<Csc<S::T>, SparseError> {
-    let ct = crate::driver::masked_spgemm::<S>(
+    let (ct, _) = crate::driver::spgemm::<S>(
         b.transposed_csr(),
         a.transposed_csr(),
         mask.transposed_csr(),
@@ -217,7 +217,7 @@ mod tests {
     fn dot_matches_saxpy_on_triangle_workload() {
         let a = lcg_matrix(50, 50, 5, 7);
         let cfg = Config { n_threads: 2, ..Config::default() };
-        let saxpy = crate::masked_spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+        let (saxpy, _) = crate::spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
         let dot = masked_spgemm_dot::<PlusTimes>(&a, &Csc::from_csr(&a), &a, &cfg).unwrap();
         assert_eq!(dot, saxpy);
     }
@@ -246,7 +246,7 @@ mod tests {
     fn csc_driver_is_the_transposed_row_driver() {
         let a = lcg_matrix(30, 30, 4, 4).spones(1u64);
         let cfg = Config { n_threads: 2, n_tiles: 8, ..Config::default() };
-        let row_result = crate::masked_spgemm::<PlusPair>(&a, &a, &a, &cfg).unwrap();
+        let (row_result, _) = crate::spgemm::<PlusPair>(&a, &a, &a, &cfg).unwrap();
         let col_result = masked_spgemm_csc::<PlusPair>(
             &Csc::from_csr(&a),
             &Csc::from_csr(&a),

@@ -3,56 +3,65 @@
 //!
 //! Pipeline per call (all passes are `O(nnz)` or better):
 //!
-//! 1. validate shapes;
-//! 2. estimate per-row work with Eq. 2 ([`mspgemm_sched::row_work`]) —
-//!    needed by FLOP-balanced tiling *and* by hash-accumulator sizing;
-//! 3. cut the rows into tiles ([`mspgemm_sched::tile`]);
-//! 4. run the tiles on the worker pool ([`mspgemm_sched::run_tiles`]);
-//!    each worker owns a private accumulator that persists across every
-//!    tile it claims;
-//! 5. assemble the output CSR.
+//! 1. the symbolic phase — shape validation, Eq. 2 work estimation, tiling
+//!    and slot layout — captured in a `PlanCore` (built per
+//!    call by [`spgemm`], built *once* by [`crate::Executor::plan`] and
+//!    reused across calls);
+//! 2. run the tiles on the executor's persistent worker pool
+//!    ([`mspgemm_sched::WorkerPool`]); each worker's accumulator lives in
+//!    its cross-run [`mspgemm_sched::WorkerScratch`], keyed by plan
+//!    identity, so it persists across every tile the worker claims — and,
+//!    under a reused plan, across every *run*;
+//! 3. assemble the output CSR.
 //!
 //! # Output assembly
 //!
 //! The default ([`Assembly::InPlace`]) exploits the mask's hard bound
-//! `nnz(C[i,:]) ≤ nnz(M[i,:])`: a serial prefix over the mask's row
-//! pointers sizes the output `cols`/`vals` buffers at `nnz(M)` once, each
-//! tile claims its disjoint slot range through
-//! [`mspgemm_sched::DisjointSlots`] and the kernels write rows straight
-//! into their slots (zero steady-state allocation); a parallel compaction
+//! `nnz(C[i,:]) ≤ nnz(M[i,:])`: the plan sizes the output `cols`/`vals`
+//! buffers at `nnz(M)` once, each tile claims its disjoint slot range
+//! through [`mspgemm_sched::DisjointSlots`] and the kernels write rows
+//! straight into their slots (zero steady-state allocation); a compaction
 //! pass then squeezes out the per-row slack and builds the final
 //! `row_ptr` — and when there is no slack the slot buffers *are* the
-//! output, with nothing copied at all. [`Assembly::Legacy`] keeps the
-//! historical fragment-then-stitch pipeline (per-tile growable buffers +
-//! serial full-output copy) as the bit-identical reference.
+//! output, with nothing copied at all. Under a reused plan the slot
+//! buffers themselves survive across runs in the plan's
+//! `PlanScratch`, resized without clearing (every
+//! surviving row slot is rewritten before compaction reads it).
+//! [`Assembly::Legacy`] keeps the historical fragment-then-stitch pipeline
+//! (per-tile growable buffers + serial full-output copy) as the
+//! bit-identical reference.
 //!
 //! # Fault tolerance
 //!
-//! Tile execution is panic-isolated (see `mspgemm_sched::pool`): a kernel
-//! that unwinds loses only its own tile, and the driver retries each lost
-//! tile **once, serially, with the conservative configuration** — the
-//! vanilla saxpy kernel over a dense `u64`-marker accumulator — before
-//! giving up. All kernels accumulate each output row's products in the
-//! same `k` order, so a successful retry is bit-identical to what the
-//! original configuration would have produced. Only if the degraded retry
-//! *also* fails does the call surface [`SparseError::TileFailed`], naming
-//! the tile and its row range; internal invariant breaks surface as
-//! [`SparseError::Internal`]. The process never aborts either way, and
+//! Tile execution is panic-isolated (see `mspgemm_sched`): a kernel that
+//! unwinds loses only its own tile, and the driver retries each lost tile
+//! **once, serially, with the conservative configuration** — the vanilla
+//! saxpy kernel over a dense `u64`-marker accumulator — before giving up.
+//! All kernels accumulate each output row's products in the same `k`
+//! order, so a successful retry is bit-identical to what the original
+//! configuration would have produced. Only if the degraded retry *also*
+//! fails does the call surface [`SparseError::TileFailed`], naming the
+//! tile and its row range; internal invariant breaks surface as
+//! [`SparseError::Internal`]. A panic that escapes tile isolation inside
+//! the pool infrastructure poisons the executor —
+//! [`SparseError::ExecutorPoisoned`] — but never the process. Either way
 //! [`RunStats::retried_tiles`] / [`RunStats::failed_tiles`] make any
 //! degradation observable.
 
 use crate::config::{Assembly, Config, IterationSpace};
+use crate::executor::{Executor, ExecutorShared};
 use crate::kernels::{
     row_coiterate, row_hybrid, row_mask_accumulate, row_vanilla, tally_row_hybrid, HybridStats,
 };
+use crate::plan::{PlanCore, PlanScratch};
 use mspgemm_accum::{
     Accumulator, AccumulatorKind, DenseAccumulator, HashAccumulator, MarkerWidth, RowSink,
     SlotSink, SortAccumulator, VecSink,
 };
 use mspgemm_rt::{failpoint, obs};
 use mspgemm_sched::{
-    catch_tile_panic, run_tiles, tile::tiles_for, work::row_work, work::total_work,
-    DisjointSlots, ExecError, Schedule, ThreadReport, Tile,
+    catch_tile_panic, DisjointSlots, ExecError, PoolError, PoolRunError, Schedule, ThreadReport,
+    Tile,
 };
 use mspgemm_sparse::{Csr, Idx, Semiring, SparseError};
 use std::collections::HashMap;
@@ -69,7 +78,9 @@ pub struct RunStats {
     /// [`retry_elapsed`](Self::retry_elapsed); end-to-end wall time is
     /// [`total`](Self::total).
     pub elapsed: Duration,
-    /// Wall time of the work-estimation + tiling prologue.
+    /// Wall time of the symbolic phase: the work-estimation + tiling
+    /// prologue for a one-shot call, or the (much cheaper) structural
+    /// revalidation for [`crate::plan::Plan::execute`].
     pub setup: Duration,
     /// Wall time of the degraded serial retry pass (zero when no tile
     /// failed). Previously this window was silently folded into
@@ -120,92 +131,89 @@ struct TileResult<T> {
     vals: Vec<T>,
 }
 
-/// Compute `C = M ⊙ (A × B)` with the given configuration.
+/// Compute `C = M ⊙ (A × B)` with the given configuration, on the
+/// process-wide persistent executor ([`crate::Executor::global`]).
 ///
 /// The mask is interpreted **structurally**: any stored entry of `M`
 /// admits the corresponding output position, regardless of its value
 /// (§IV-A: "the mask is treated as Boolean (i.e., its values are not
 /// used)").
+///
+/// For iterated workloads (the same operand structure multiplied many
+/// times), prefer [`crate::Session`] or [`crate::Executor::plan`], which
+/// additionally reuse the symbolic phase and the output slot buffers
+/// across calls.
+pub fn spgemm<S: Semiring>(
+    a: &Csr<S::T>,
+    b: &Csr<S::T>,
+    mask: &Csr<S::T>,
+    config: &Config,
+) -> Result<(Csr<S::T>, RunStats), SparseError> {
+    Executor::global().execute::<S>(a, b, mask, config)
+}
+
+/// Deprecated spelling of [`spgemm`] that drops the stats.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `spgemm` (returns the stats too) or an `Executor`/`Session`; \
+            this shim forwards to the global executor"
+)]
 pub fn masked_spgemm<S: Semiring>(
     a: &Csr<S::T>,
     b: &Csr<S::T>,
     mask: &Csr<S::T>,
     config: &Config,
 ) -> Result<Csr<S::T>, SparseError> {
-    masked_spgemm_with_stats::<S>(a, b, mask, config).map(|(c, _)| c)
+    spgemm::<S>(a, b, mask, config).map(|(c, _)| c)
 }
 
-/// [`masked_spgemm`] plus timing and load-balance measurements.
+/// Deprecated spelling of [`spgemm`].
+#[deprecated(
+    since = "0.2.0",
+    note = "renamed to `spgemm`; this shim forwards to the global executor"
+)]
 pub fn masked_spgemm_with_stats<S: Semiring>(
     a: &Csr<S::T>,
     b: &Csr<S::T>,
     mask: &Csr<S::T>,
     config: &Config,
 ) -> Result<(Csr<S::T>, RunStats), SparseError> {
-    if a.ncols() != b.nrows() {
-        return Err(SparseError::ShapeMismatch {
-            expected: (a.ncols(), b.ncols()),
-            found: (b.nrows(), b.ncols()),
-            context: "masked_spgemm: A×B inner dimension",
-        });
-    }
-    if mask.nrows() != a.nrows() || mask.ncols() != b.ncols() {
-        return Err(SparseError::ShapeMismatch {
-            expected: (a.nrows(), b.ncols()),
-            found: (mask.nrows(), mask.ncols()),
-            context: "masked_spgemm: mask shape",
-        });
-    }
+    spgemm::<S>(a, b, mask, config)
+}
 
-    let setup_start = Instant::now();
-    let n_threads = config.resolved_threads();
-    let n_tiles = config.resolved_tiles(a.nrows());
-    // The estimation/tiling prologue runs in the calling thread; contain
-    // it so a pathological input (or the `work-estimate` failpoint) cannot
-    // abort the process.
-    let prologue = catch_tile_panic(|| {
-        let work = row_work(a, b, mask);
-        let estimated_work = total_work(&work);
-        let tiles = tiles_for(config.tiling, a.nrows(), &work, n_tiles);
-        // Hash-accumulator sizing (§III-C): mask-preload kernels can hold
-        // at most max_i nnz(M[i,:]) entries; the vanilla kernel must hold
-        // every distinct intermediate column, bounded by Σ nnz(B[k,:])
-        // (= W[i] minus the mask term, saturating) and by ncols.
-        let max_row_entries = match config.iteration {
-            IterationSpace::Vanilla => (0..a.nrows())
-                .map(|i| {
-                    (work[i].saturating_sub(mask.row_nnz(i) as u64) as usize).min(b.ncols())
-                })
-                .max()
-                .unwrap_or(1),
-            _ => (0..mask.nrows()).map(|i| mask.row_nnz(i)).max().unwrap_or(1),
-        };
-        (estimated_work, tiles, max_row_entries)
-    });
-    let (estimated_work, tiles, max_row_entries) = match prologue {
-        Ok(v) => v,
-        Err(msg) => {
-            return Err(SparseError::Internal { detail: format!("work estimation: {msg}") })
+/// Map a pool-infrastructure failure onto the public error surface.
+fn pool_error(e: PoolError) -> SparseError {
+    match e {
+        PoolError::Poisoned { detail } => SparseError::ExecutorPoisoned { detail },
+        PoolError::Spawn { detail } => {
+            SparseError::Internal { detail: format!("worker spawn: {detail}") }
         }
-    };
-    let setup = setup_start.elapsed();
+    }
+}
+
+/// Execute a prepared plan core on an executor: the numeric phase shared
+/// by every entry point ([`spgemm`], [`crate::Executor::execute`],
+/// [`crate::plan::Plan::execute`]). Holds the executor's run lock for the
+/// whole run so per-run metric deltas never interleave.
+pub(crate) fn run_plan<S: Semiring>(
+    exec: &ExecutorShared,
+    core: &PlanCore,
+    scratch: Option<&mut PlanScratch<S>>,
+    a: &Csr<S::T>,
+    b: &Csr<S::T>,
+    mask: &Csr<S::T>,
+    setup: Duration,
+) -> Result<(Csr<S::T>, RunStats), SparseError> {
+    let _run = exec.run_lock.lock().unwrap_or_else(|e| e.into_inner());
 
     let metrics_on = obs::armed();
     let before = if metrics_on { Some(obs::snapshot()) } else { None };
     obs::incr(obs::Counter::DriverRuns);
 
     let start = Instant::now();
-    let (result, reports, retry) = dispatch_accumulator::<S>(
-        a,
-        b,
-        mask,
-        config,
-        &tiles,
-        n_threads,
-        max_row_entries,
-    )?;
-    // the degraded retry window is timed inside run_generic; subtract it
-    // so `elapsed` measures the configuration, not the recovery
+    let (result, reports, retry) = dispatch_accumulator::<S>(exec, core, scratch, a, b, mask)?;
+    // the degraded retry window is timed inside the run; subtract it so
+    // `elapsed` measures the configuration, not the recovery
     let elapsed = start.elapsed().saturating_sub(retry.elapsed);
 
     // mask bound minus realised output: the per-row slack the in-place
@@ -222,10 +230,10 @@ pub fn masked_spgemm_with_stats<S: Semiring>(
         setup,
         retry_elapsed: retry.elapsed,
         thread_reports: reports,
-        estimated_work,
+        estimated_work: core.estimated_work,
         output_nnz: result.nnz(),
-        n_tiles,
-        n_threads,
+        n_tiles: core.tiles.len(),
+        n_threads: core.n_threads,
         retried_tiles: retry.recovered,
         failed_tiles: retry.failed,
         metrics,
@@ -249,63 +257,64 @@ struct RetryStats {
 /// accumulator instantiations, unarmed runs compile to instantiations
 /// whose hot loops are instruction-identical to the uninstrumented
 /// baseline. Arming is checked once per driver call, never per element.
+/// (The worker-persistent accumulator cache keys on `TypeId`, so flipping
+/// the flag between runs transparently rebuilds the scratch.)
 fn dispatch_accumulator<S: Semiring>(
+    exec: &ExecutorShared,
+    core: &PlanCore,
+    scratch: Option<&mut PlanScratch<S>>,
     a: &Csr<S::T>,
     b: &Csr<S::T>,
     mask: &Csr<S::T>,
-    config: &Config,
-    tiles: &[Tile],
-    n_threads: usize,
-    max_row_entries: usize,
 ) -> Result<(Csr<S::T>, Vec<ThreadReport>, RetryStats), SparseError> {
     if obs::armed() {
-        dispatch_metered::<S, true>(a, b, mask, config, tiles, n_threads, max_row_entries)
+        dispatch_metered::<S, true>(exec, core, scratch, a, b, mask)
     } else {
-        dispatch_metered::<S, false>(a, b, mask, config, tiles, n_threads, max_row_entries)
+        dispatch_metered::<S, false>(exec, core, scratch, a, b, mask)
     }
 }
 
 fn dispatch_metered<S: Semiring, const METER: bool>(
+    exec: &ExecutorShared,
+    core: &PlanCore,
+    scratch: Option<&mut PlanScratch<S>>,
     a: &Csr<S::T>,
     b: &Csr<S::T>,
     mask: &Csr<S::T>,
-    config: &Config,
-    tiles: &[Tile],
-    n_threads: usize,
-    max_row_entries: usize,
 ) -> Result<(Csr<S::T>, Vec<ThreadReport>, RetryStats), SparseError> {
     let ncols = b.ncols();
-    match config.accumulator {
+    let cap = core.max_row_entries;
+    match core.config.accumulator {
         AccumulatorKind::Dense(w) => match w {
-            MarkerWidth::W8 => run_generic::<S, _, _>(a, b, mask, config, tiles, n_threads, || {
+            MarkerWidth::W8 => run_generic::<S, _, _>(exec, core, scratch, a, b, mask, || {
                 DenseAccumulator::<S, u8, METER>::new(ncols)
             }),
-            MarkerWidth::W16 => run_generic::<S, _, _>(a, b, mask, config, tiles, n_threads, || {
+            MarkerWidth::W16 => run_generic::<S, _, _>(exec, core, scratch, a, b, mask, || {
                 DenseAccumulator::<S, u16, METER>::new(ncols)
             }),
-            MarkerWidth::W32 => run_generic::<S, _, _>(a, b, mask, config, tiles, n_threads, || {
+            MarkerWidth::W32 => run_generic::<S, _, _>(exec, core, scratch, a, b, mask, || {
                 DenseAccumulator::<S, u32, METER>::new(ncols)
             }),
-            MarkerWidth::W64 => run_generic::<S, _, _>(a, b, mask, config, tiles, n_threads, || {
+            MarkerWidth::W64 => run_generic::<S, _, _>(exec, core, scratch, a, b, mask, || {
                 DenseAccumulator::<S, u64, METER>::new(ncols)
             }),
         },
         AccumulatorKind::Hash(w) => match w {
-            MarkerWidth::W8 => run_generic::<S, _, _>(a, b, mask, config, tiles, n_threads, || {
-                HashAccumulator::<S, u8, METER>::with_row_capacity(max_row_entries)
+            MarkerWidth::W8 => run_generic::<S, _, _>(exec, core, scratch, a, b, mask, || {
+                HashAccumulator::<S, u8, METER>::with_row_capacity(cap)
             }),
-            MarkerWidth::W16 => run_generic::<S, _, _>(a, b, mask, config, tiles, n_threads, || {
-                HashAccumulator::<S, u16, METER>::with_row_capacity(max_row_entries)
+            MarkerWidth::W16 => run_generic::<S, _, _>(exec, core, scratch, a, b, mask, || {
+                HashAccumulator::<S, u16, METER>::with_row_capacity(cap)
             }),
-            MarkerWidth::W32 => run_generic::<S, _, _>(a, b, mask, config, tiles, n_threads, || {
-                HashAccumulator::<S, u32, METER>::with_row_capacity(max_row_entries)
+            MarkerWidth::W32 => run_generic::<S, _, _>(exec, core, scratch, a, b, mask, || {
+                HashAccumulator::<S, u32, METER>::with_row_capacity(cap)
             }),
-            MarkerWidth::W64 => run_generic::<S, _, _>(a, b, mask, config, tiles, n_threads, || {
-                HashAccumulator::<S, u64, METER>::with_row_capacity(max_row_entries)
+            MarkerWidth::W64 => run_generic::<S, _, _>(exec, core, scratch, a, b, mask, || {
+                HashAccumulator::<S, u64, METER>::with_row_capacity(cap)
             }),
         },
-        AccumulatorKind::Sort => run_generic::<S, _, _>(a, b, mask, config, tiles, n_threads, || {
-            SortAccumulator::<S>::new(max_row_entries)
+        AccumulatorKind::Sort => run_generic::<S, _, _>(exec, core, scratch, a, b, mask, || {
+            SortAccumulator::<S>::new(cap)
         }),
     }
 }
@@ -329,6 +338,13 @@ fn run_row<S, A, W>(
     A: Accumulator<S>,
     W: RowSink<S::T> + ?Sized,
 {
+    // An empty mask row admits no output at all, whatever the iteration
+    // space — skip the row before touching A or B. This is what makes
+    // frontier-style masks (BFS, sparse queries) pay only for the rows
+    // they ask about instead of the whole product.
+    if mask_cols.is_empty() {
+        return;
+    }
     match iteration {
         IterationSpace::Vanilla => row_vanilla(i, a, b, mask_cols, acc, out),
         IterationSpace::MaskAccumulate => row_mask_accumulate(i, a, b, mask_cols, acc, out),
@@ -477,108 +493,114 @@ fn copy_tile_rows<S: Semiring>(
 }
 
 /// The monomorphic parallel run, dispatched on the assembly strategy.
+///
+/// `A: 'static` because the per-worker accumulator is parked in the
+/// pool's type-erased [`mspgemm_sched::WorkerScratch`] between runs.
 fn run_generic<S, A, F>(
+    exec: &ExecutorShared,
+    core: &PlanCore,
+    scratch: Option<&mut PlanScratch<S>>,
     a: &Csr<S::T>,
     b: &Csr<S::T>,
     mask: &Csr<S::T>,
-    config: &Config,
-    tiles: &[Tile],
-    n_threads: usize,
     make_acc: F,
 ) -> Result<(Csr<S::T>, Vec<ThreadReport>, RetryStats), SparseError>
 where
     S: Semiring,
-    A: Accumulator<S>,
+    A: Accumulator<S> + 'static,
     F: Fn() -> A + Sync,
 {
-    match config.assembly {
-        Assembly::InPlace => run_inplace::<S, A, F>(a, b, mask, config, tiles, n_threads, make_acc),
-        Assembly::Legacy => run_legacy::<S, A, F>(a, b, mask, config, tiles, n_threads, make_acc),
+    match core.config.assembly {
+        Assembly::InPlace => run_inplace::<S, A, F>(exec, core, scratch, a, b, mask, make_acc),
+        Assembly::Legacy => run_legacy::<S, A, F>(exec, core, a, b, mask, make_acc),
     }
 }
 
-/// Mask-bounded in-place assembly: preallocate at `nnz(M)`, write rows
-/// into disjoint slots, compact the slack in parallel. See the module
-/// docs for the layout.
+/// Mask-bounded in-place assembly: preallocate at `nnz(M)` (or adopt the
+/// plan's surviving buffers), write rows into disjoint slots, compact the
+/// slack in parallel. See the module docs for the layout.
 fn run_inplace<S, A, F>(
+    exec: &ExecutorShared,
+    core: &PlanCore,
+    scratch: Option<&mut PlanScratch<S>>,
     a: &Csr<S::T>,
     b: &Csr<S::T>,
     mask: &Csr<S::T>,
-    config: &Config,
-    tiles: &[Tile],
-    n_threads: usize,
     make_acc: F,
 ) -> Result<(Csr<S::T>, Vec<ThreadReport>, RetryStats), SparseError>
 where
     S: Semiring,
-    A: Accumulator<S>,
+    A: Accumulator<S> + 'static,
     F: Fn() -> A + Sync,
 {
-    let iteration = config.iteration;
+    let iteration = core.config.iteration;
+    let schedule = core.config.schedule;
+    let n_threads = core.n_threads;
+    let tiles = &core.tiles;
+    let bound = core.bound;
+    let plan_key = core.plan_id;
     let nrows = a.nrows();
     let ncols = b.ncols();
 
-    // serial prefix over the mask's row pointers: each tile's slot range
-    // in the shared bound-sized buffers (tiles partition the rows in
-    // order, so one running sum covers them all)
-    let mut slot_ranges = Vec::with_capacity(tiles.len());
-    let mut row_ranges = Vec::with_capacity(tiles.len());
-    let mut bound = 0usize;
-    for t in tiles {
-        let lo = bound;
-        for i in t.rows() {
-            bound += mask.row_nnz(i);
-        }
-        slot_ranges.push((lo, bound));
-        row_ranges.push((t.lo, t.hi));
-    }
+    // Adopt the plan's surviving buffers (resize is a no-op on a reused
+    // same-structure plan — no allocation, *no zeroing*: every surviving
+    // row slot is rewritten by its tile or by the degraded retry before
+    // compaction reads it) or build fresh ones for a one-shot run. On
+    // error paths the taken buffers are simply dropped; the plan rebuilds
+    // them on its next execution.
+    let mut scratch = scratch;
+    let (mut slot_cols, mut slot_vals, mut row_nnz) = match scratch.as_deref_mut() {
+        Some(s) => (
+            std::mem::take(&mut s.slot_cols),
+            std::mem::take(&mut s.slot_vals),
+            std::mem::take(&mut s.row_nnz),
+        ),
+        None => (Vec::new(), Vec::new(), Vec::new()),
+    };
+    slot_cols.resize(bound, 0 as Idx);
+    slot_vals.resize(bound, S::zero());
+    row_nnz.resize(nrows, 0u32);
 
-    let mut slot_cols = vec![0 as Idx; bound];
-    let mut slot_vals = vec![S::zero(); bound];
-    let mut row_nnz = vec![0u32; nrows];
     let completed: Vec<OnceLock<()>> = (0..tiles.len()).map(|_| OnceLock::new()).collect();
     let duplicate: Mutex<Option<usize>> = Mutex::new(None);
 
     let outcome = {
-        let col_slots = DisjointSlots::new(&mut slot_cols, slot_ranges.clone())
+        let col_slots = DisjointSlots::new(&mut slot_cols, core.slot_ranges.clone())
             .map_err(|detail| SparseError::Internal { detail })?;
-        let val_slots = DisjointSlots::new(&mut slot_vals, slot_ranges.clone())
+        let val_slots = DisjointSlots::new(&mut slot_vals, core.slot_ranges.clone())
             .map_err(|detail| SparseError::Internal { detail })?;
-        let nnz_slots = DisjointSlots::new(&mut row_nnz, row_ranges)
+        let nnz_slots = DisjointSlots::new(&mut row_nnz, core.row_ranges.clone())
             .map_err(|detail| SparseError::Internal { detail })?;
-        run_tiles(
-            n_threads,
-            tiles.len(),
-            config.schedule,
-            // worker-persistent scratch: the accumulator and hybrid-stats
-            // live for every tile this worker claims
-            |_t| (make_acc(), HybridStats::armed()),
-            |(acc, hstats), tile_idx| {
-                failpoint::maybe_fire(failpoint::TILE_KERNEL, tile_idx as u64);
-                let (Some(sc), Some(sv), Some(rn)) = (
-                    col_slots.take(tile_idx),
-                    val_slots.take(tile_idx),
-                    nnz_slots.take(tile_idx),
-                ) else {
-                    let mut guard = duplicate.lock().unwrap_or_else(|e| e.into_inner());
-                    guard.get_or_insert(tile_idx);
-                    return;
-                };
-                compute_tile_slots::<S, A>(
-                    tiles[tile_idx],
-                    iteration,
-                    a,
-                    b,
-                    mask,
-                    acc,
-                    hstats,
-                    sc,
-                    sv,
-                    rn,
-                );
-                let _ = completed[tile_idx].set(());
-            },
-        )
+        exec.pool.run_tiles(n_threads, tiles.len(), schedule, |_t, ws, tile_idx| {
+            failpoint::maybe_fire(failpoint::TILE_KERNEL, tile_idx as u64);
+            let (Some(sc), Some(sv), Some(rn)) = (
+                col_slots.take(tile_idx),
+                val_slots.take(tile_idx),
+                nnz_slots.take(tile_idx),
+            ) else {
+                let mut guard = duplicate.lock().unwrap_or_else(|e| e.into_inner());
+                guard.get_or_insert(tile_idx);
+                return;
+            };
+            // worker-persistent accumulator: keyed by plan identity, it
+            // survives every tile this worker claims *and* — under a
+            // reused plan — every run of the plan
+            let acc = ws.get_or_build::<A, _>(plan_key, || make_acc());
+            let mut hstats = HybridStats::armed();
+            compute_tile_slots::<S, A>(
+                tiles[tile_idx],
+                iteration,
+                a,
+                b,
+                mask,
+                acc,
+                &mut hstats,
+                sc,
+                sv,
+                rn,
+            );
+            let _ = completed[tile_idx].set(());
+        })
     };
 
     if let Some(tile_idx) = duplicate.into_inner().unwrap_or_else(|e| e.into_inner()) {
@@ -589,7 +611,8 @@ where
 
     let (reports, parallel_failures) = match outcome {
         Ok(reports) => (reports, Vec::new()),
-        Err(ExecError { failures, reports }) => (reports, failures),
+        Err(PoolRunError::Tiles(ExecError { failures, reports })) => (reports, failures),
+        Err(PoolRunError::Pool(e)) => return Err(pool_error(e)),
     };
 
     // --- degraded serial retry: vanilla kernel + dense u64 accumulator,
@@ -606,7 +629,7 @@ where
     let retry_start = (retry.failed > 0).then(Instant::now);
     for tile_idx in missing {
         let tile = tiles[tile_idx];
-        let (slo, shi) = slot_ranges[tile_idx];
+        let (slo, shi) = core.slot_ranges[tile_idx];
         // The failpoint key used in the parallel body is the tile index,
         // and the retry deliberately does NOT re-fire `tile-kernel`: the
         // degraded path is the recovery path, exercised on its own via the
@@ -669,7 +692,17 @@ where
     }
 
     if output_nnz == bound {
-        // no slack: the slot buffers *are* the output — zero bytes moved
+        // no slack: the slot buffers *are* the output — zero bytes moved.
+        // The adopted buffers leave with the result; the plan keeps only
+        // the (cheap) per-row nnz array and re-allocates slots next run.
+        if let Some(s) = scratch {
+            s.row_nnz = row_nnz;
+            return Ok((
+                Csr::from_parts_unchecked(nrows, ncols, row_ptr, slot_cols, slot_vals),
+                reports,
+                retry,
+            ));
+        }
         let c = Csr::from_parts_unchecked(nrows, ncols, row_ptr, slot_cols, slot_vals);
         return Ok((c, reports, retry));
     }
@@ -682,7 +715,7 @@ where
 
     let mut done = false;
     if parallel {
-        // per-tile disjoint copies through the existing pool; tile t's
+        // per-tile disjoint copies through the persistent pool; tile t's
         // destination window is [row_ptr[t.lo], row_ptr[t.hi])
         let dest_ranges: Vec<(usize, usize)> =
             tiles.iter().map(|t| (row_ptr[t.lo], row_ptr[t.hi])).collect();
@@ -692,19 +725,20 @@ where
                 .map_err(|detail| SparseError::Internal { detail })?;
             let dv = DisjointSlots::new(&mut out_vals, dest_ranges)
                 .map_err(|detail| SparseError::Internal { detail })?;
-            let _ = run_tiles(
+            // a lost tile here falls through to the serial redo below; a
+            // pool failure leaves `copied` empty and does the same
+            let _ = exec.pool.run_tiles(
                 n_threads,
                 tiles.len(),
                 Schedule::Dynamic { chunk: 1 },
-                |_t| (),
-                |(), tile_idx| {
+                |_t, _ws, tile_idx| {
                     let (Some(c), Some(v)) = (dc.take(tile_idx), dv.take(tile_idx)) else {
                         return;
                     };
                     let bytes = copy_tile_rows::<S>(
                         tiles[tile_idx],
                         mask,
-                        slot_ranges[tile_idx].0,
+                        core.slot_ranges[tile_idx].0,
                         &row_ptr,
                         &slot_cols,
                         &slot_vals,
@@ -728,7 +762,7 @@ where
                 let bytes = copy_tile_rows::<S>(
                     *t,
                     mask,
-                    slot_ranges[idx].0,
+                    core.slot_ranges[idx].0,
                     &row_ptr,
                     &slot_cols,
                     &slot_vals,
@@ -743,41 +777,57 @@ where
         }
     }
 
+    // hand the slot buffers back to the plan for its next execution
+    if let Some(s) = scratch {
+        s.slot_cols = slot_cols;
+        s.slot_vals = slot_vals;
+        s.row_nnz = row_nnz;
+    }
     Ok((Csr::from_parts_unchecked(nrows, ncols, row_ptr, out_cols, out_vals), reports, retry))
 }
 
 /// The historical fragment-then-stitch run: schedule tiles, compute
 /// fragments, retry failed tiles serially with the conservative
-/// configuration, stitch.
+/// configuration, stitch. (Keeps no cross-run value scratch — the legacy
+/// path is the bit-identical reference, not the fast path.)
 fn run_legacy<S, A, F>(
+    exec: &ExecutorShared,
+    core: &PlanCore,
     a: &Csr<S::T>,
     b: &Csr<S::T>,
     mask: &Csr<S::T>,
-    config: &Config,
-    tiles: &[Tile],
-    n_threads: usize,
     make_acc: F,
 ) -> Result<(Csr<S::T>, Vec<ThreadReport>, RetryStats), SparseError>
 where
     S: Semiring,
-    A: Accumulator<S>,
+    A: Accumulator<S> + 'static,
     F: Fn() -> A + Sync,
 {
-    let iteration = config.iteration;
+    let iteration = core.config.iteration;
+    let tiles = &core.tiles;
+    let plan_key = core.plan_id;
     let ncols = b.ncols();
     let results: Vec<OnceLock<TileResult<S::T>>> =
         (0..tiles.len()).map(|_| OnceLock::new()).collect();
     let duplicate: Mutex<Option<usize>> = Mutex::new(None);
 
-    let outcome = run_tiles(
-        n_threads,
+    let outcome = exec.pool.run_tiles(
+        core.n_threads,
         tiles.len(),
-        config.schedule,
-        |_t| (make_acc(), HybridStats::armed()),
-        |(acc, hstats), tile_idx| {
+        core.config.schedule,
+        |_t, ws, tile_idx| {
             failpoint::maybe_fire(failpoint::TILE_KERNEL, tile_idx as u64);
-            let frag =
-                compute_fragment::<S, A>(tiles[tile_idx], iteration, a, b, mask, acc, hstats);
+            let acc = ws.get_or_build::<A, _>(plan_key, || make_acc());
+            let mut hstats = HybridStats::armed();
+            let frag = compute_fragment::<S, A>(
+                tiles[tile_idx],
+                iteration,
+                a,
+                b,
+                mask,
+                acc,
+                &mut hstats,
+            );
             if results[tile_idx].set(frag).is_err() {
                 let mut guard = duplicate.lock().unwrap_or_else(|e| e.into_inner());
                 guard.get_or_insert(tile_idx);
@@ -793,7 +843,8 @@ where
 
     let (reports, parallel_failures) = match outcome {
         Ok(reports) => (reports, Vec::new()),
-        Err(ExecError { failures, reports }) => (reports, failures),
+        Err(PoolRunError::Tiles(ExecError { failures, reports })) => (reports, failures),
+        Err(PoolRunError::Pool(e)) => return Err(pool_error(e)),
     };
 
     // --- degraded serial retry: vanilla kernel + dense u64 accumulator ---
@@ -934,15 +985,17 @@ mod tests {
                         IterationSpace::Hybrid { kappa: 1.0 },
                     ] {
                         for assembly in [Assembly::InPlace, Assembly::Legacy] {
-                            v.push(Config {
-                                n_threads: 2,
-                                n_tiles: 7,
-                                tiling,
-                                schedule,
-                                accumulator,
-                                iteration,
-                                assembly,
-                            });
+                            v.push(
+                                Config::builder()
+                                    .n_threads(2)
+                                    .n_tiles(7)
+                                    .tiling(tiling)
+                                    .schedule(schedule)
+                                    .accumulator(accumulator)
+                                    .iteration(iteration)
+                                    .assembly(assembly)
+                                    .build(),
+                            );
                         }
                     }
                 }
@@ -958,7 +1011,7 @@ mod tests {
         let mask = lcg_matrix(50, 50, 6, 3);
         let want = Dense::masked_matmul::<PlusTimes, f64>(&a, &b, &mask);
         for cfg in all_configs() {
-            let got = masked_spgemm::<PlusTimes>(&a, &b, &mask, &cfg).unwrap();
+            let (got, _) = spgemm::<PlusTimes>(&a, &b, &mask, &cfg).unwrap();
             assert_eq!(got, want, "config {}", cfg.label());
         }
     }
@@ -970,8 +1023,20 @@ mod tests {
         let a = lcg_matrix(64, 64, 6, 9);
         let ap = a.spones(1u64);
         let want = Dense::masked_matmul::<PlusPair, u64>(&ap, &ap, &ap);
-        let got = masked_spgemm::<PlusPair>(&ap, &ap, &ap, &Config::default()).unwrap();
+        let (got, _) = spgemm::<PlusPair>(&ap, &ap, &ap, &Config::default()).unwrap();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn deprecated_shims_forward_to_spgemm() {
+        #![allow(deprecated)]
+        let a = lcg_matrix(20, 20, 3, 21);
+        let cfg = Config::default();
+        let (want, _) = spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+        assert_eq!(masked_spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap(), want);
+        let (got, stats) = masked_spgemm_with_stats::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(stats.output_nnz, want.nnz());
     }
 
     #[test]
@@ -980,13 +1045,13 @@ mod tests {
         let b = lcg_matrix(6, 4, 2, 2); // inner dim 5 != 6
         let m = lcg_matrix(4, 4, 2, 3);
         assert!(matches!(
-            masked_spgemm::<PlusTimes>(&a, &b, &m, &Config::default()),
+            spgemm::<PlusTimes>(&a, &b, &m, &Config::default()),
             Err(SparseError::ShapeMismatch { .. })
         ));
         let b2 = lcg_matrix(5, 4, 2, 2);
         let bad_mask = lcg_matrix(3, 4, 2, 3);
         assert!(matches!(
-            masked_spgemm::<PlusTimes>(&a, &b2, &bad_mask, &Config::default()),
+            spgemm::<PlusTimes>(&a, &b2, &bad_mask, &Config::default()),
             Err(SparseError::ShapeMismatch { .. })
         ));
     }
@@ -994,8 +1059,8 @@ mod tests {
     #[test]
     fn stats_are_populated() {
         let a = lcg_matrix(100, 100, 5, 4);
-        let cfg = Config { n_threads: 2, n_tiles: 16, ..Config::default() };
-        let (c, stats) = masked_spgemm_with_stats::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+        let cfg = Config::builder().n_threads(2).n_tiles(16).build();
+        let (c, stats) = spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
         assert_eq!(stats.output_nnz, c.nnz());
         assert_eq!(stats.n_threads, 2);
         assert_eq!(stats.n_tiles, 16);
@@ -1013,24 +1078,24 @@ mod tests {
     #[test]
     fn more_tiles_than_rows_is_fine() {
         let a = lcg_matrix(10, 10, 3, 5);
-        let cfg = Config { n_threads: 2, n_tiles: 1000, ..Config::default() };
+        let cfg = Config::builder().n_threads(2).n_tiles(1000).build();
         let want = Dense::masked_matmul::<PlusTimes, f64>(&a, &a, &a);
-        let got = masked_spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+        let (got, _) = spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
         assert_eq!(got, want);
     }
 
     #[test]
     fn single_tile_single_thread() {
         let a = lcg_matrix(30, 30, 4, 6);
-        let cfg = Config { n_threads: 1, n_tiles: 1, ..Config::default() };
+        let cfg = Config::builder().n_threads(1).n_tiles(1).build();
         let want = Dense::masked_matmul::<PlusTimes, f64>(&a, &a, &a);
-        assert_eq!(masked_spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap(), want);
+        assert_eq!(spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap().0, want);
     }
 
     #[test]
     fn empty_matrices() {
         let a: Csr<f64> = Csr::zeros(10, 10);
-        let c = masked_spgemm::<PlusTimes>(&a, &a, &a, &Config::default()).unwrap();
+        let (c, _) = spgemm::<PlusTimes>(&a, &a, &a, &Config::default()).unwrap();
         assert_eq!(c.nnz(), 0);
         assert_eq!(c.nrows(), 10);
     }
@@ -1045,8 +1110,8 @@ mod tests {
             IterationSpace::CoIterate,
             IterationSpace::Hybrid { kappa: 1.0 },
         ] {
-            let cfg = Config { iteration: it, n_threads: 2, ..Config::default() };
-            let c = masked_spgemm::<PlusTimes>(&a, &a, &mask, &cfg).unwrap();
+            let cfg = Config::builder().iteration(it).n_threads(2).build();
+            let (c, _) = spgemm::<PlusTimes>(&a, &a, &mask, &cfg).unwrap();
             assert_eq!(c.nnz(), 0, "{}", it.label());
         }
     }
@@ -1058,8 +1123,8 @@ mod tests {
         let mask = lcg_matrix(12, 8, 4, 12);
         let want = Dense::masked_matmul::<PlusTimes, f64>(&a, &b, &mask);
         for it in [IterationSpace::MaskAccumulate, IterationSpace::Hybrid { kappa: 1.0 }] {
-            let cfg = Config { iteration: it, n_threads: 2, n_tiles: 3, ..Config::default() };
-            assert_eq!(masked_spgemm::<PlusTimes>(&a, &b, &mask, &cfg).unwrap(), want);
+            let cfg = Config::builder().iteration(it).n_threads(2).n_tiles(3).build();
+            assert_eq!(spgemm::<PlusTimes>(&a, &b, &mask, &cfg).unwrap().0, want);
         }
     }
 
@@ -1072,7 +1137,7 @@ mod tests {
             *v = 0.0;
         }
         let want = Dense::masked_matmul::<PlusTimes, f64>(&a, &a, &mask);
-        let got = masked_spgemm::<PlusTimes>(&a, &a, &mask, &Config::default()).unwrap();
+        let (got, _) = spgemm::<PlusTimes>(&a, &a, &mask, &Config::default()).unwrap();
         assert_eq!(got, want);
         // oracle also treats the mask structurally, so cross-check nnz > 0
         assert!(got.nnz() > 0, "structural mask should admit entries");

@@ -17,12 +17,15 @@
 //! fitting in cache.
 
 use crate::config::Config;
-use crate::driver::masked_spgemm;
+use crate::driver::spgemm;
 use mspgemm_sparse::{Csr, Semiring, SparseError};
 
 /// Compute `C = M ⊙ (A × B)` with `col_bands` column bands on top of the
-/// 1-D configuration `config`. `col_bands == 1` is identical to
-/// [`masked_spgemm`].
+/// 1-D configuration `config`. `col_bands == 1` is identical to the 1-D
+/// [`spgemm`] driver.
+///
+/// Fails with [`SparseError::InvalidConfig`] when `col_bands == 0` — zero
+/// bands would compute nothing, which is never what the caller meant.
 pub fn masked_spgemm_2d<S: Semiring>(
     a: &Csr<S::T>,
     b: &Csr<S::T>,
@@ -30,9 +33,13 @@ pub fn masked_spgemm_2d<S: Semiring>(
     config: &Config,
     col_bands: usize,
 ) -> Result<Csr<S::T>, SparseError> {
-    assert!(col_bands > 0, "need at least one column band");
+    if col_bands == 0 {
+        return Err(SparseError::InvalidConfig {
+            detail: "masked_spgemm_2d: col_bands must be at least 1".to_string(),
+        });
+    }
     if col_bands == 1 || b.ncols() <= col_bands {
-        return masked_spgemm::<S>(a, b, mask, config);
+        return spgemm::<S>(a, b, mask, config).map(|(c, _)| c);
     }
     if a.ncols() != b.nrows() {
         return Err(SparseError::ShapeMismatch {
@@ -61,7 +68,7 @@ pub fn masked_spgemm_2d<S: Semiring>(
         let b_band = b.col_slice(lo, hi);
         let m_band = mask.col_slice(lo, hi);
         // rows of A are reused across bands; B/M shrink per band
-        parts.push(masked_spgemm::<S>(a, &b_band, &m_band, config)?);
+        parts.push(spgemm::<S>(a, &b_band, &m_band, config)?.0);
     }
     let refs: Vec<&Csr<S::T>> = parts.iter().collect();
     Ok(Csr::hconcat(&refs))
@@ -147,5 +154,14 @@ mod tests {
         let m = lcg_matrix(4, 8, 2, 3);
         let cfg = Config::default();
         assert!(masked_spgemm_2d::<PlusTimes>(&a, &b, &m, &cfg, 2).is_err());
+    }
+
+    #[test]
+    fn zero_bands_is_an_invalid_config_not_a_panic() {
+        let a = lcg_matrix(8, 8, 2, 10);
+        assert!(matches!(
+            masked_spgemm_2d::<PlusTimes>(&a, &a, &a, &Config::default(), 0),
+            Err(mspgemm_sparse::SparseError::InvalidConfig { .. })
+        ));
     }
 }

@@ -8,10 +8,10 @@
 //!
 //! | Dimension (paper §III) | Knob | Options |
 //! |---|---|---|
-//! | Tiling | [`Config::tiling`], [`Config::n_tiles`] | uniform / FLOP-balanced × any tile count |
-//! | Scheduling | [`Config::schedule`] | static / dynamic(chunk) |
-//! | Iteration space | [`Config::iteration`] | vanilla (Fig. 3), mask-accumulate (Fig. 5), co-iteration (Fig. 7), hybrid-κ (Fig. 9) |
-//! | Accumulator | [`Config::accumulator`] | dense / hash × marker width 8/16/32/64 |
+//! | Tiling | [`ConfigBuilder::tiling`], [`ConfigBuilder::n_tiles`] | uniform / FLOP-balanced × any tile count |
+//! | Scheduling | [`ConfigBuilder::schedule`] | static / dynamic(chunk) / guided(chunk) |
+//! | Iteration space | [`ConfigBuilder::iteration`] | vanilla (Fig. 3), mask-accumulate (Fig. 5), co-iteration (Fig. 7), hybrid-κ (Fig. 9) |
+//! | Accumulator | [`ConfigBuilder::accumulator`] | dense / hash / sort × marker width 8/16/32/64 |
 //!
 //! Three policy presets reproduce the systems the paper compares
 //! ([`presets`]), and [`tuner`] implements the staged tuning flow of
@@ -20,7 +20,7 @@
 //! # Quick start
 //!
 //! ```
-//! use mspgemm_core::{masked_spgemm, Config};
+//! use mspgemm_core::{spgemm, Config};
 //! use mspgemm_sparse::{Csr, PlusTimes};
 //!
 //! // A 4-cycle: triangle-free, so A ⊙ (A × A) over plus_times is all zeros
@@ -31,23 +31,56 @@
 //!     vec![1.0f64; 8],
 //! ).unwrap();
 //!
-//! let c = masked_spgemm::<PlusTimes>(&a, &a, &a, &Config::default()).unwrap();
+//! let (c, stats) = spgemm::<PlusTimes>(&a, &a, &a, &Config::default()).unwrap();
 //! assert_eq!(c.nnz(), 0);
+//! assert_eq!(stats.output_nnz, 0);
+//! ```
+//!
+//! # Execution sessions
+//!
+//! Iterated workloads (triangle counting, k-truss, BFS — the paper's §I
+//! motivation) multiply under the *same operand structure* many times.
+//! [`Executor`] keeps a persistent worker pool alive between calls, and
+//! [`Session`] / [`Executor::plan`] additionally capture the symbolic
+//! phase (work estimation, tiling, slot layout) once and reuse it:
+//!
+//! ```
+//! use mspgemm_core::{Config, Session};
+//! use mspgemm_sparse::{Csr, PlusTimes};
+//!
+//! let a = Csr::try_from_parts(
+//!     4, 4,
+//!     vec![0, 2, 4, 6, 8],
+//!     vec![1, 3, 0, 2, 1, 3, 0, 2],
+//!     vec![1.0f64; 8],
+//! ).unwrap();
+//! let mut session = Session::<PlusTimes>::new(Config::default());
+//! for _ in 0..10 {
+//!     let (c, _) = session.execute(&a, &a, &a).unwrap();
+//!     assert_eq!(c.nnz(), 0);
+//! }
+//! assert_eq!(session.rebuilds(), 0); // structure never drifted
 //! ```
 
 pub mod config;
 pub mod dot;
 pub mod driver;
 pub mod driver2d;
+pub mod executor;
 pub mod kernels;
 pub mod model;
+pub mod plan;
 pub mod presets;
 pub mod tuner;
 
-pub use config::{Assembly, Config, IterationSpace};
+pub use config::{Assembly, Config, ConfigBuilder, IterationSpace};
 pub use dot::{masked_spgemm_csc, masked_spgemm_dot};
-pub use driver::{masked_spgemm, masked_spgemm_with_stats, RunStats};
+pub use driver::{spgemm, RunStats};
+#[allow(deprecated)]
+pub use driver::{masked_spgemm, masked_spgemm_with_stats};
 pub use driver2d::masked_spgemm_2d;
+pub use executor::{Executor, Session};
 pub use model::predict_config;
+pub use plan::Plan;
 pub use presets::{preset_config, Preset};
 pub use tuner::{tune, TuneReport, TunerOptions};

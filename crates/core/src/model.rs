@@ -199,7 +199,7 @@ mod tests {
         use mspgemm_sparse::Dense;
         let g = star_plus_ring(300);
         let p = predict_config::<PlusTimes>(&g, &g, &g, 2);
-        let got = crate::masked_spgemm::<PlusTimes>(&g, &g, &g, &p.config).unwrap();
+        let (got, _) = crate::spgemm::<PlusTimes>(&g, &g, &g, &p.config).unwrap();
         let want = Dense::masked_matmul::<PlusTimes, f64>(&g, &g, &g);
         assert_eq!(got, want);
     }

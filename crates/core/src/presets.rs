@@ -15,7 +15,11 @@ use mspgemm_sched::{Schedule, TilingStrategy};
 use mspgemm_sparse::{Csr, Semiring};
 
 /// The three implementations compared in Fig. 1.
+///
+/// Marked `#[non_exhaustive]`: downstream `match`es need a wildcard arm,
+/// so policy presets can be added without a breaking release.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum Preset {
     /// SuiteSparse:GraphBLAS-style policy: `2p` FLOP-balanced tiles with
     /// dynamic scheduling ("Based on our experience,

@@ -11,12 +11,17 @@
 //! proposes as future work ("build models which can intelligently tune the
 //! parameters at execution time") — done here the simple way, by direct
 //! measurement.
+//!
+//! Each candidate configuration is measured through a reusable
+//! [`Plan`](crate::plan::Plan) on the global [`Executor`]: the symbolic
+//! phase is built once per configuration and the repetitions re-execute
+//! it, so multi-rep sweeps time the kernel, not the prologue.
 
 use crate::config::{Config, IterationSpace};
-use crate::driver::masked_spgemm_with_stats;
+use crate::executor::Executor;
 use mspgemm_accum::{AccumulatorKind, MarkerWidth};
 use mspgemm_sched::{Schedule, TilingStrategy};
-use mspgemm_sparse::{Csr, Semiring};
+use mspgemm_sparse::{Csr, Semiring, SparseError};
 use std::time::Duration;
 
 /// Options controlling the sweep granularity (and therefore tuning cost).
@@ -74,30 +79,50 @@ pub struct TuneReport {
     pub best_time: Duration,
 }
 
+/// Time one configuration: plan once, execute `reps` times, keep the
+/// minimum kernel time. Shape errors (and any execution failure) surface
+/// as the [`SparseError`] the driver produced.
 fn time_config<S: Semiring>(
     a: &Csr<S::T>,
     b: &Csr<S::T>,
     mask: &Csr<S::T>,
     config: &Config,
     reps: usize,
-) -> Duration {
+) -> Result<Duration, SparseError> {
+    let mut plan = Executor::global().plan::<S>(a, b, mask, config)?;
     let mut best = Duration::MAX;
     for _ in 0..reps.max(1) {
-        let (_, stats) = masked_spgemm_with_stats::<S>(a, b, mask, config)
-            .expect("tuner operands must be shape-compatible");
+        let (_, stats) = plan.execute(a, b, mask)?;
         best = best.min(stats.elapsed);
     }
-    best
+    Ok(best)
 }
 
 /// Run the Fig. 12 flow on one operand triple and return the trace and the
 /// winning configuration.
+///
+/// Fails with [`SparseError::InvalidConfig`] when a sweep grid is empty
+/// (there would be no winner to report), and propagates any shape or
+/// execution error from the measurements themselves.
 pub fn tune<S: Semiring>(
     a: &Csr<S::T>,
     b: &Csr<S::T>,
     mask: &Csr<S::T>,
     opts: &TunerOptions,
-) -> TuneReport {
+) -> Result<TuneReport, SparseError> {
+    if opts.tile_counts.is_empty() {
+        return Err(SparseError::InvalidConfig {
+            detail: "tuner: tile_counts grid is empty; stage 1 needs at least one tile count"
+                .to_string(),
+        });
+    }
+    if opts.marker_widths.is_empty() {
+        return Err(SparseError::InvalidConfig {
+            detail: "tuner: marker_widths grid is empty; stage 3 needs at least one width"
+                .to_string(),
+        });
+    }
+
     // ---------- stage 1: tiling × scheduling (no co-iteration) ----------
     let mut stage1 = Vec::new();
     for &n_tiles in &opts.tile_counts {
@@ -107,40 +132,43 @@ pub fn tune<S: Semiring>(
                     AccumulatorKind::Dense(MarkerWidth::W32),
                     AccumulatorKind::Hash(MarkerWidth::W32),
                 ] {
-                    let config = Config {
-                        n_threads: opts.n_threads,
-                        n_tiles,
-                        tiling,
-                        schedule,
-                        accumulator: family,
-                        iteration: IterationSpace::MaskAccumulate,
-                        assembly: crate::config::Assembly::InPlace,
-                    };
-                    let time = time_config::<S>(a, b, mask, &config, opts.reps);
+                    let config = Config::builder()
+                        .n_threads(opts.n_threads)
+                        .n_tiles(n_tiles)
+                        .tiling(tiling)
+                        .schedule(schedule)
+                        .accumulator(family)
+                        .iteration(IterationSpace::MaskAccumulate)
+                        .build();
+                    let time = time_config::<S>(a, b, mask, &config, opts.reps)?;
                     stage1.push(Measurement { config, time });
                 }
             }
         }
     }
-    let s1_best = stage1
-        .iter()
-        .min_by_key(|m| m.time)
-        .expect("stage 1 must measure at least one config")
-        .config;
+    let Some(s1_best) = stage1.iter().min_by_key(|m| m.time).map(|m| m.config) else {
+        return Err(SparseError::Internal {
+            detail: "tuner: stage 1 swept a non-empty grid but measured nothing".to_string(),
+        });
+    };
 
     // ---------- stage 2: κ sweep on the stage-1 winner ----------
     let mut stage2 = Vec::new();
     // the no-co-iteration baseline re-enters as a candidate
     stage2.push(Measurement {
         config: s1_best,
-        time: time_config::<S>(a, b, mask, &s1_best, opts.reps),
+        time: time_config::<S>(a, b, mask, &s1_best, opts.reps)?,
     });
     for &kappa in &opts.kappas {
-        let config = Config { iteration: IterationSpace::Hybrid { kappa }, ..s1_best };
-        let time = time_config::<S>(a, b, mask, &config, opts.reps);
+        let config = s1_best.to_builder().hybrid(kappa).build();
+        let time = time_config::<S>(a, b, mask, &config, opts.reps)?;
         stage2.push(Measurement { config, time });
     }
-    let s2_best = stage2.iter().min_by_key(|m| m.time).unwrap().config;
+    let Some(s2_best) = stage2.iter().min_by_key(|m| m.time).map(|m| m.config) else {
+        return Err(SparseError::Internal {
+            detail: "tuner: stage 2 lost its baseline measurement".to_string(),
+        });
+    };
 
     // ---------- stage 3: marker width for the chosen family ----------
     let mut stage3 = Vec::new();
@@ -151,19 +179,23 @@ pub fn tune<S: Semiring>(
             // the sort accumulator has no marker state to tune
             AccumulatorKind::Sort => AccumulatorKind::Sort,
         };
-        let config = Config { accumulator, ..s2_best };
-        let time = time_config::<S>(a, b, mask, &config, opts.reps);
+        let config = s2_best.to_builder().accumulator(accumulator).build();
+        let time = time_config::<S>(a, b, mask, &config, opts.reps)?;
         stage3.push(Measurement { config, time });
     }
-    let final_best = stage3.iter().min_by_key(|m| m.time).unwrap();
+    let Some(final_best) = stage3.iter().min_by_key(|m| m.time) else {
+        return Err(SparseError::Internal {
+            detail: "tuner: stage 3 swept a non-empty grid but measured nothing".to_string(),
+        });
+    };
 
-    TuneReport {
+    Ok(TuneReport {
         best: final_best.config,
         best_time: final_best.time,
         stage1,
         stage2,
         stage3,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -199,7 +231,7 @@ mod tests {
     #[test]
     fn tuner_runs_all_stages_and_returns_valid_config() {
         let a = lcg_matrix(120, 5, 1);
-        let report = tune::<PlusTimes>(&a, &a, &a, &small_opts());
+        let report = tune::<PlusTimes>(&a, &a, &a, &small_opts()).unwrap();
         // stage 1: 2 tiles × 2 strategies × 2 schedules × 2 families = 16
         assert_eq!(report.stage1.len(), 16);
         // stage 2: baseline + 3 kappas
@@ -208,14 +240,14 @@ mod tests {
         assert_eq!(report.stage3.len(), 2);
         // the chosen config must actually compute the right answer
         let want = Dense::masked_matmul::<PlusTimes, f64>(&a, &a, &a);
-        let got = crate::masked_spgemm::<PlusTimes>(&a, &a, &a, &report.best).unwrap();
+        let (got, _) = crate::spgemm::<PlusTimes>(&a, &a, &a, &report.best).unwrap();
         assert_eq!(got, want);
     }
 
     #[test]
     fn best_time_is_minimum_of_stage3() {
         let a = lcg_matrix(80, 4, 2);
-        let report = tune::<PlusTimes>(&a, &a, &a, &small_opts());
+        let report = tune::<PlusTimes>(&a, &a, &a, &small_opts()).unwrap();
         let min3 = report.stage3.iter().map(|m| m.time).min().unwrap();
         assert_eq!(report.best_time, min3);
     }
@@ -223,7 +255,7 @@ mod tests {
     #[test]
     fn stage2_keeps_winner_tiling_fixed() {
         let a = lcg_matrix(80, 4, 3);
-        let report = tune::<PlusTimes>(&a, &a, &a, &small_opts());
+        let report = tune::<PlusTimes>(&a, &a, &a, &small_opts()).unwrap();
         let s1_best = report
             .stage1
             .iter()
@@ -235,5 +267,30 @@ mod tests {
             assert_eq!(m.config.tiling, s1_best.tiling);
             assert_eq!(m.config.schedule, s1_best.schedule);
         }
+    }
+
+    #[test]
+    fn empty_grids_are_rejected_up_front() {
+        let a = lcg_matrix(20, 3, 4);
+        let no_tiles = TunerOptions { tile_counts: vec![], ..small_opts() };
+        assert!(matches!(
+            tune::<PlusTimes>(&a, &a, &a, &no_tiles),
+            Err(SparseError::InvalidConfig { .. })
+        ));
+        let no_widths = TunerOptions { marker_widths: vec![], ..small_opts() };
+        assert!(matches!(
+            tune::<PlusTimes>(&a, &a, &a, &no_widths),
+            Err(SparseError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn shape_errors_propagate_from_measurement() {
+        let a = lcg_matrix(20, 3, 5);
+        let wrong = lcg_matrix(21, 3, 6);
+        assert!(matches!(
+            tune::<PlusTimes>(&a, &wrong, &a, &small_opts()),
+            Err(SparseError::ShapeMismatch { .. })
+        ));
     }
 }

@@ -11,7 +11,7 @@
 //! compaction pass is exercised even on the tiny matrices used here —
 //! without the pin every test-sized run would take the serial branch.
 
-use mspgemm_core::{masked_spgemm, masked_spgemm_with_stats, Assembly, Config, IterationSpace};
+use mspgemm_core::{spgemm, Assembly, Config, IterationSpace};
 use mspgemm_rt::failpoint;
 use mspgemm_rt::testkit::{check, vec_of};
 use mspgemm_sched::{Schedule, TilingStrategy};
@@ -45,10 +45,10 @@ fn lcg_matrix(nrows: usize, ncols: usize, per_row: usize, seed: u64) -> Csr<f64>
 /// Assert the two assembly paths agree exactly (pattern *and* storage):
 /// `Csr` equality compares `row_ptr`, `cols` and `vals` verbatim.
 fn assert_paths_identical(a: &Csr<f64>, b: &Csr<f64>, m: &Csr<f64>, base: &Config) {
-    let inplace = Config { assembly: Assembly::InPlace, ..*base };
-    let legacy = Config { assembly: Assembly::Legacy, ..*base };
-    let ci = masked_spgemm::<PlusTimes>(a, b, m, &inplace).unwrap();
-    let cl = masked_spgemm::<PlusTimes>(a, b, m, &legacy).unwrap();
+    let inplace = base.to_builder().assembly(Assembly::InPlace).build();
+    let legacy = base.to_builder().assembly(Assembly::Legacy).build();
+    let (ci, _) = spgemm::<PlusTimes>(a, b, m, &inplace).unwrap();
+    let (cl, _) = spgemm::<PlusTimes>(a, b, m, &legacy).unwrap();
     assert_eq!(ci, cl, "assembly paths diverge under {}", base.label());
 }
 
@@ -68,17 +68,16 @@ fn inplace_matches_legacy_across_full_config_grid() {
                 IterationSpace::Hybrid { kappa: 1.0 },
             ] {
                 for accumulator in mspgemm_accum::AccumulatorKind::all() {
-                    let base = Config {
-                        n_threads: 2,
-                        n_tiles: 7,
-                        tiling,
-                        schedule,
-                        iteration,
-                        accumulator,
-                        ..Config::default()
-                    };
+                    let base = Config::builder()
+                        .n_threads(2)
+                        .n_tiles(7)
+                        .tiling(tiling)
+                        .schedule(schedule)
+                        .iteration(iteration)
+                        .accumulator(accumulator)
+                        .build();
                     assert_paths_identical(&a, &b, &m, &base);
-                    let got = masked_spgemm::<PlusTimes>(&a, &b, &m, &base).unwrap();
+                    let (got, _) = spgemm::<PlusTimes>(&a, &b, &m, &base).unwrap();
                     assert_eq!(got, oracle, "wrong product under {}", base.label());
                 }
             }
@@ -104,11 +103,11 @@ fn inplace_matches_legacy_on_random_operands() {
     };
     check("inplace_matches_legacy_on_random_operands", CASES, s, |(ta, tb, tm)| {
         let (a, b, m) = (csr(&ta), csr(&tb), csr(&tm));
-        let base = Config { n_threads: 2, n_tiles: 5, ..Config::default() };
+        let base = Config::builder().n_threads(2).n_tiles(5).build();
         assert_paths_identical(&a, &b, &m, &base);
         // and both agree with the dense oracle, not just with each other
         let want = Dense::masked_matmul::<PlusTimes, f64>(&a, &b, &m);
-        let got = masked_spgemm::<PlusTimes>(&a, &b, &m, &base).unwrap();
+        let (got, _) = spgemm::<PlusTimes>(&a, &b, &m, &base).unwrap();
         assert_eq!(got, want);
     });
 }
@@ -126,11 +125,11 @@ fn zero_slack_run_adopts_slot_buffers() {
         return;
     }
     let mask = full.spones(1.0);
-    let base = Config { n_threads: 2, n_tiles: 6, ..Config::default() };
+    let base = Config::builder().n_threads(2).n_tiles(6).build();
     let want = Dense::masked_matmul::<PlusTimes, f64>(&a, &a, &mask);
     assert_eq!(want.nnz(), mask.nnz(), "test premise: zero slack");
     assert_paths_identical(&a, &a, &mask, &base);
-    let got = masked_spgemm::<PlusTimes>(&a, &a, &mask, &base).unwrap();
+    let (got, _) = spgemm::<PlusTimes>(&a, &a, &mask, &base).unwrap();
     assert_eq!(got, want);
 }
 
@@ -162,20 +161,19 @@ fn fault_retried_tile_lands_in_its_slots_bit_identically() {
     let a = lcg_matrix(64, 64, 5, 4);
     let b = lcg_matrix(64, 64, 4, 5);
     let m = lcg_matrix(64, 64, 6, 6);
-    let base = Config {
-        n_threads: 2,
-        n_tiles: 8,
-        schedule: Schedule::Dynamic { chunk: 1 },
-        assembly: Assembly::InPlace,
-        ..Config::default()
-    };
+    let base = Config::builder()
+        .n_threads(2)
+        .n_tiles(8)
+        .schedule(Schedule::Dynamic { chunk: 1 })
+        .assembly(Assembly::InPlace)
+        .build();
     with_failpoints("", || {
-        let want = masked_spgemm::<PlusTimes>(&a, &b, &m, &base).unwrap();
+        let (want, _) = spgemm::<PlusTimes>(&a, &b, &m, &base).unwrap();
         // pin tile 3: its parallel kernel panics, the degraded serial
         // retry recomputes it into the *same* mask-bounded slot range,
         // and compaction must not be able to tell the difference
         failpoint::arm("tile-kernel=panic@p:1.0,key:3,seed:42").unwrap();
-        let (got, stats) = masked_spgemm_with_stats::<PlusTimes>(&a, &b, &m, &base)
+        let (got, stats) = spgemm::<PlusTimes>(&a, &b, &m, &base)
             .expect("degraded retry must recover the pinned tile in place");
         assert_eq!(got, want, "retried tile must land bit-identically in its slots");
         assert_eq!(stats.failed_tiles, 1);
@@ -187,16 +185,15 @@ fn fault_retried_tile_lands_in_its_slots_bit_identically() {
 fn fault_all_tiles_retried_still_assemble_in_place() {
     force_parallel_compaction();
     let a = lcg_matrix(50, 50, 5, 7);
-    let base = Config {
-        n_threads: 2,
-        n_tiles: 8,
-        assembly: Assembly::InPlace,
-        ..Config::default()
-    };
+    let base = Config::builder()
+        .n_threads(2)
+        .n_tiles(8)
+        .assembly(Assembly::InPlace)
+        .build();
     with_failpoints("", || {
-        let want = masked_spgemm::<PlusTimes>(&a, &a, &a, &base).unwrap();
+        let (want, _) = spgemm::<PlusTimes>(&a, &a, &a, &base).unwrap();
         failpoint::arm("tile-kernel=panic@p:1.0").unwrap();
-        let (got, stats) = masked_spgemm_with_stats::<PlusTimes>(&a, &a, &a, &base)
+        let (got, stats) = spgemm::<PlusTimes>(&a, &a, &a, &base)
             .expect("serial retry must recover every tile");
         assert_eq!(got, want);
         assert_eq!(stats.failed_tiles, base.n_tiles);

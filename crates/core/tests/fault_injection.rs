@@ -6,7 +6,7 @@
 //! each test self-contained either way), runs under a shared mutex because
 //! the registry is process-global, and disarms its sites on the way out.
 
-use mspgemm_core::{masked_spgemm, masked_spgemm_2d, masked_spgemm_with_stats, Config};
+use mspgemm_core::{masked_spgemm_2d, spgemm, Config};
 use mspgemm_rt::failpoint;
 use mspgemm_sched::Schedule;
 use mspgemm_sparse::{Coo, Csr, PlusTimes, SparseError};
@@ -31,12 +31,11 @@ fn lcg_matrix(nrows: usize, ncols: usize, per_row: usize, seed: u64) -> Csr<f64>
 }
 
 fn test_config() -> Config {
-    Config {
-        n_threads: 2,
-        n_tiles: 8,
-        schedule: Schedule::Dynamic { chunk: 1 },
-        ..Config::default()
-    }
+    Config::builder()
+        .n_threads(2)
+        .n_tiles(8)
+        .schedule(Schedule::Dynamic { chunk: 1 })
+        .build()
 }
 
 const ALL_OFF: &str =
@@ -61,9 +60,9 @@ fn fault_pinned_tile_recovers_bit_identically() {
     let m = lcg_matrix(64, 64, 6, 3);
     let cfg = test_config();
     with_failpoints("", || {
-        let want = masked_spgemm::<PlusTimes>(&a, &b, &m, &cfg).unwrap();
+        let (want, _) = spgemm::<PlusTimes>(&a, &b, &m, &cfg).unwrap();
         failpoint::arm("tile-kernel=panic@p:1.0,key:3,seed:42").unwrap();
-        let (got, stats) = masked_spgemm_with_stats::<PlusTimes>(&a, &b, &m, &cfg)
+        let (got, stats) = spgemm::<PlusTimes>(&a, &b, &m, &cfg)
             .expect("degraded retry must recover the pinned tile");
         assert_eq!(got, want, "retry result must be bit-identical");
         assert_eq!(stats.failed_tiles, 1, "exactly tile 3 failed");
@@ -76,9 +75,9 @@ fn fault_every_tile_fails_and_recovers() {
     let a = lcg_matrix(50, 50, 5, 4);
     let cfg = test_config();
     with_failpoints("", || {
-        let want = masked_spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+        let (want, _) = spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
         failpoint::arm("tile-kernel=panic@p:1.0").unwrap();
-        let (got, stats) = masked_spgemm_with_stats::<PlusTimes>(&a, &a, &a, &cfg)
+        let (got, stats) = spgemm::<PlusTimes>(&a, &a, &a, &cfg)
             .expect("serial retry must recover every tile");
         assert_eq!(got, want);
         assert_eq!(stats.failed_tiles, cfg.n_tiles, "every tile failed in parallel");
@@ -93,7 +92,7 @@ fn fault_failed_retry_surfaces_tile_failed_naming_the_tile() {
     // accum-reset fires in the retry's dense accumulator too, so the
     // degraded path itself dies: the first missing tile (0) is surfaced
     let err = with_failpoints("tile-kernel=panic@p:1.0;accum-reset=panic@p:1.0", || {
-        masked_spgemm::<PlusTimes>(&a, &a, &a, &cfg).expect_err("retry also fails")
+        spgemm::<PlusTimes>(&a, &a, &a, &cfg).expect_err("retry also fails")
     });
     match err {
         SparseError::TileFailed { tile, rows, detail } => {
@@ -113,9 +112,9 @@ fn fault_probabilistic_injection_is_deterministic() {
     let ((r1, s1), (r2, s2)) = with_failpoints("", || {
         let spec = "tile-kernel=panic@p:0.3,seed:42";
         failpoint::arm(spec).unwrap();
-        let one = masked_spgemm_with_stats::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+        let one = spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
         failpoint::arm(spec).unwrap();
-        let two = masked_spgemm_with_stats::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+        let two = spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
         (one, two)
     });
     assert_eq!(r1, r2, "pinned seed must give identical results");
@@ -131,9 +130,9 @@ fn fault_delay_action_injects_latency_only() {
     let a = lcg_matrix(40, 40, 4, 7);
     let cfg = test_config();
     with_failpoints("", || {
-        let want = masked_spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+        let (want, _) = spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
         failpoint::arm("tile-kernel=delay@ms:1").unwrap();
-        let (got, stats) = masked_spgemm_with_stats::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+        let (got, stats) = spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
         assert_eq!(got, want, "delay must not change the result");
         assert_eq!(stats.failed_tiles, 0);
         assert_eq!(stats.retried_tiles, 0);
@@ -145,7 +144,7 @@ fn fault_fragment_stitch_failure_is_internal() {
     let a = lcg_matrix(32, 32, 4, 8);
     let cfg = test_config();
     let err = with_failpoints("fragment-stitch=panic@p:1.0", || {
-        masked_spgemm::<PlusTimes>(&a, &a, &a, &cfg).expect_err("stitch dies")
+        spgemm::<PlusTimes>(&a, &a, &a, &cfg).expect_err("stitch dies")
     });
     match err {
         SparseError::Internal { detail } => {
@@ -161,7 +160,7 @@ fn fault_work_estimate_failure_is_internal() {
     let a = lcg_matrix(32, 32, 4, 9);
     let cfg = test_config();
     let err = with_failpoints("work-estimate=panic@p:1.0", || {
-        masked_spgemm::<PlusTimes>(&a, &a, &a, &cfg).expect_err("estimator dies")
+        spgemm::<PlusTimes>(&a, &a, &a, &cfg).expect_err("estimator dies")
     });
     match err {
         SparseError::Internal { detail } => {
@@ -201,12 +200,12 @@ fn fault_retry_window_is_timed_separately() {
     let a = lcg_matrix(64, 64, 5, 12);
     let cfg = test_config();
     with_failpoints("", || {
-        let (_, clean) = masked_spgemm_with_stats::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+        let (_, clean) = spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
         assert_eq!(clean.retry_elapsed, std::time::Duration::ZERO, "no faults, no retry window");
         assert_eq!(clean.total(), clean.setup + clean.elapsed);
 
         failpoint::arm("tile-kernel=panic@p:1.0").unwrap();
-        let (_, stats) = masked_spgemm_with_stats::<PlusTimes>(&a, &a, &a, &cfg)
+        let (_, stats) = spgemm::<PlusTimes>(&a, &a, &a, &cfg)
             .expect("retry recovers every tile");
         assert_eq!(stats.retried_tiles, cfg.n_tiles);
         assert!(
@@ -225,11 +224,11 @@ fn fault_retry_window_is_timed_separately() {
 #[test]
 fn fault_static_schedule_recovers_too() {
     let a = lcg_matrix(50, 50, 5, 11);
-    let cfg = Config { schedule: Schedule::Static, ..test_config() };
+    let cfg = test_config().to_builder().schedule(Schedule::Static).build();
     with_failpoints("", || {
-        let want = masked_spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+        let (want, _) = spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
         failpoint::arm("tile-kernel=panic@p:1.0,key:5,seed:7").unwrap();
-        let (got, stats) = masked_spgemm_with_stats::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+        let (got, stats) = spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
         assert_eq!(got, want);
         assert_eq!(stats.failed_tiles, 1);
         assert_eq!(stats.retried_tiles, 1);

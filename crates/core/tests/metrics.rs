@@ -6,7 +6,7 @@
 //! zero-cost guarantee is asserted in `metrics_unarmed.rs` — it must live
 //! in a separate test binary because arming is irreversible per process.
 
-use mspgemm_core::{masked_spgemm_with_stats, Config, IterationSpace};
+use mspgemm_core::{spgemm, Config, IterationSpace};
 use mspgemm_rt::obs;
 use mspgemm_sched::Schedule;
 use mspgemm_sparse::{Coo, Csr, PlusTimes};
@@ -42,9 +42,9 @@ fn with_armed_metrics<R>(f: impl FnOnce() -> R) -> R {
 #[test]
 fn tile_output_nnz_counters_sum_to_run_output_nnz() {
     let a = lcg_matrix(80, 80, 5, 1);
-    let cfg = Config { n_threads: 2, n_tiles: 8, ..Config::default() };
+    let cfg = Config::builder().n_threads(2).n_tiles(8).build();
     with_armed_metrics(|| {
-        let (c, stats) = masked_spgemm_with_stats::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+        let (c, stats) = spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
         let m = stats.metrics.expect("armed run must attach a snapshot delta");
         assert_eq!(
             m.counter("driver.tile_output_nnz"),
@@ -70,14 +70,9 @@ fn tile_output_nnz_counters_sum_to_run_output_nnz() {
 fn legacy_stitch_reports_compaction_bytes_for_every_entry() {
     use mspgemm_core::Assembly;
     let a = lcg_matrix(80, 80, 5, 8);
-    let cfg = Config {
-        n_threads: 2,
-        n_tiles: 8,
-        assembly: Assembly::Legacy,
-        ..Config::default()
-    };
+    let cfg = Config::builder().n_threads(2).n_tiles(8).assembly(Assembly::Legacy).build();
     with_armed_metrics(|| {
-        let (c, stats) = masked_spgemm_with_stats::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+        let (c, stats) = spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
         let m = stats.metrics.expect("armed run must attach a snapshot delta");
         // the serial stitch always copies every output entry once
         assert_eq!(m.counter("driver.compaction_bytes"), c.nnz() as u64 * 12);
@@ -94,14 +89,13 @@ fn hybrid_decision_counts_sum_to_nonempty_ik_pairs() {
         .map(|i| a.row(i).0.iter().filter(|&&k| b.row_nnz(k as usize) > 0).count() as u64)
         .sum();
     for kappa in [0.0, 1.0, f64::INFINITY] {
-        let cfg = Config {
-            n_threads: 2,
-            n_tiles: 6,
-            iteration: IterationSpace::Hybrid { kappa },
-            ..Config::default()
-        };
+        let cfg = Config::builder()
+            .n_threads(2)
+            .n_tiles(6)
+            .iteration(IterationSpace::Hybrid { kappa })
+            .build();
         with_armed_metrics(|| {
-            let (_, stats) = masked_spgemm_with_stats::<PlusTimes>(&a, &b, &mask, &cfg).unwrap();
+            let (_, stats) = spgemm::<PlusTimes>(&a, &b, &mask, &cfg).unwrap();
             let m = stats.metrics.unwrap();
             let decisions = m.counter("kernel.hybrid.coiterate") + m.counter("kernel.hybrid.saxpy");
             assert_eq!(
@@ -126,15 +120,14 @@ fn accumulator_counters_flow_through_the_driver() {
     let a = lcg_matrix(70, 70, 5, 5);
     // hash + narrow markers: probes, probe-length histogram and full
     // resets must all reach the registry via the per-tile flush
-    let cfg = Config {
-        n_threads: 2,
-        n_tiles: 4,
-        accumulator: AccumulatorKind::Hash(MarkerWidth::W8),
-        iteration: IterationSpace::MaskAccumulate,
-        ..Config::default()
-    };
+    let cfg = Config::builder()
+        .n_threads(2)
+        .n_tiles(4)
+        .accumulator(AccumulatorKind::Hash(MarkerWidth::W8))
+        .iteration(IterationSpace::MaskAccumulate)
+        .build();
     with_armed_metrics(|| {
-        let (_, stats) = masked_spgemm_with_stats::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+        let (_, stats) = spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
         let m = stats.metrics.unwrap();
         assert!(m.counter("accum.hash.probes") > 0);
         assert!(m.counter("accum.hash.probe_steps") >= m.counter("accum.hash.probes"));
@@ -152,14 +145,13 @@ fn accumulator_counters_flow_through_the_driver() {
 #[test]
 fn trace_spans_cover_every_tile() {
     let a = lcg_matrix(50, 50, 4, 6);
-    let cfg = Config {
-        n_threads: 2,
-        n_tiles: 5,
-        schedule: Schedule::Dynamic { chunk: 1 },
-        ..Config::default()
-    };
+    let cfg = Config::builder()
+        .n_threads(2)
+        .n_tiles(5)
+        .schedule(Schedule::Dynamic { chunk: 1 })
+        .build();
     with_armed_metrics(|| {
-        let _ = masked_spgemm_with_stats::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+        let _ = spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
         let events = obs::take_trace();
         let tile_spans: Vec<_> = events.iter().filter(|e| e.name == "tile").collect();
         assert_eq!(tile_spans.len(), cfg.n_tiles, "one span per tile");
@@ -178,10 +170,10 @@ fn trace_spans_cover_every_tile() {
 #[test]
 fn thread_busy_histogram_counts_every_worker() {
     let a = lcg_matrix(50, 50, 4, 7);
-    let cfg = Config { n_threads: 3, n_tiles: 9, ..Config::default() };
+    let cfg = Config::builder().n_threads(3).n_tiles(9).build();
     with_armed_metrics(|| {
         let before = obs::snapshot();
-        let _ = masked_spgemm_with_stats::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+        let _ = spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
         let delta = obs::snapshot().delta_since(&before);
         let busy = delta.hist("sched.thread_busy_us").unwrap();
         assert_eq!(

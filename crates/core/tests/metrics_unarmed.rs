@@ -7,7 +7,7 @@
 //! `MSPGEMM_METRICS` set in the environment the premise is void and the
 //! tests pass vacuously.
 
-use mspgemm_core::{masked_spgemm_with_stats, Config};
+use mspgemm_core::{spgemm, Config};
 use mspgemm_rt::obs;
 use mspgemm_sparse::{Coo, Csr, PlusTimes};
 
@@ -37,8 +37,8 @@ fn unarmed_run_records_nothing() {
         return;
     }
     let a = lcg_matrix(60, 5, 1);
-    let cfg = Config { n_threads: 2, n_tiles: 8, ..Config::default() };
-    let (c, stats) = masked_spgemm_with_stats::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+    let cfg = Config::builder().n_threads(2).n_tiles(8).build();
+    let (c, stats) = spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
     assert!(c.nnz() > 0, "the run itself did real work");
 
     assert!(!obs::armed(), "nothing in this binary arms metrics");

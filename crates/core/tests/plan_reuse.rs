@@ -1,0 +1,181 @@
+//! Plan reuse is an optimization, never a semantic: a reused plan must be
+//! bit-identical to a fresh one-shot call on every configuration, detect
+//! (load-bearing) structure drift instead of computing garbage, and keep
+//! the executor usable through tile faults.
+//!
+//! The fault-injection half of this suite lives in `plan_reuse_faults.rs`:
+//! the failpoint registry is process-global and must be armed before any
+//! kernel touches it, which needs a binary where every test arms first.
+
+use mspgemm_core::{preset_config, spgemm, Config, Executor, IterationSpace, Preset, Session};
+use mspgemm_sparse::{Coo, Csr, PlusTimes, SparseError};
+
+/// Ring + chords with deterministic pseudo-random values: enough structure
+/// for every kernel path, small enough for the whole grid.
+fn graph(n: usize, seed: u64) -> Csr<f64> {
+    let mut coo = Coo::new(n, n);
+    for i in 0..n {
+        for d in [1usize, 2, 5] {
+            let j = (i + d) % n;
+            let v = (((i as u64 + d as u64) * 2654435761 + seed) % 97 + 1) as f64;
+            coo.push(i, j, v);
+            coo.push(j, i, v);
+        }
+    }
+    coo.to_csr_sum()
+}
+
+/// `g` with one extra stored entry — same shape, drifted structure.
+fn grown(g: &Csr<f64>) -> Csr<f64> {
+    let mut coo = Coo::new(g.nrows(), g.ncols());
+    for (i, j, v) in g.iter() {
+        coo.push(i, j as usize, v);
+    }
+    // the ring graph never stores the (0, n/2 - 1) chord
+    coo.push(0, g.ncols() / 2 - 1, 1.0);
+    coo.to_csr_sum()
+}
+
+#[test]
+fn reused_plans_are_bit_identical_across_the_preset_grid() {
+    let a = graph(80, 1);
+    for preset in Preset::all() {
+        let cfg = preset_config::<PlusTimes>(preset, &a, &a, &a, 2);
+        let (want, _) = spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+        let mut plan = Executor::global().plan::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+        for rep in 0..3 {
+            let (got, _) = plan.execute(&a, &a, &a).unwrap();
+            assert_eq!(got, want, "{}: rep {rep} diverged from one-shot", cfg.label());
+        }
+    }
+}
+
+#[test]
+fn reused_plans_are_bit_identical_across_the_config_grid() {
+    let a = graph(64, 2);
+    for iteration in [
+        IterationSpace::Vanilla,
+        IterationSpace::MaskAccumulate,
+        IterationSpace::CoIterate,
+        IterationSpace::Hybrid { kappa: 1.0 },
+    ] {
+        for n_tiles in [1, 7, 64] {
+            let cfg = Config::builder()
+                .n_threads(2)
+                .n_tiles(n_tiles)
+                .iteration(iteration)
+                .build();
+            let (want, _) = spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+            let mut plan = Executor::global().plan::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+            for _ in 0..2 {
+                let (got, _) = plan.execute(&a, &a, &a).unwrap();
+                assert_eq!(got, want, "{} / {n_tiles} tiles", cfg.label());
+            }
+        }
+    }
+}
+
+#[test]
+fn plans_survive_value_changes_without_rebuilding() {
+    let a1 = graph(60, 3);
+    let a2 = a1.map_values(|v| v * 2.0 + 1.0); // same structure, new values
+    let cfg = Config::builder().n_threads(2).n_tiles(8).build();
+    let mut plan = Executor::global().plan::<PlusTimes>(&a1, &a1, &a1, &cfg).unwrap();
+    let (c1, _) = plan.execute(&a1, &a1, &a1).unwrap();
+    let (c2, _) = plan.execute(&a2, &a2, &a2).unwrap();
+    let (want2, _) = spgemm::<PlusTimes>(&a2, &a2, &a2, &cfg).unwrap();
+    assert_eq!(c2, want2, "new values through an old plan");
+    assert_ne!(c1.values(), c2.values(), "the values really did change");
+}
+
+#[test]
+fn structure_drift_is_detected_and_names_the_operand() {
+    let a = graph(50, 4);
+    let big = grown(&a);
+
+    // mask slot layout is always pinned, under any iteration space
+    let cfg = Config::builder().n_threads(2).n_tiles(4).build();
+    let mut plan = Executor::global().plan::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+    let err = plan.execute(&a, &a, &big).unwrap_err();
+    assert!(
+        matches!(err, SparseError::PlanStructureMismatch { operand: "mask" }),
+        "expected mask mismatch, got {err:?}"
+    );
+
+    // vanilla sizes its accumulator from Eq. 2, so A and B are pinned too
+    let vcfg = cfg.to_builder().iteration(IterationSpace::Vanilla).build();
+    let mut plan = Executor::global().plan::<PlusTimes>(&a, &a, &a, &vcfg).unwrap();
+    let err = plan.execute(&big, &a, &a).unwrap_err();
+    assert!(
+        matches!(err, SparseError::PlanStructureMismatch { operand: "A" }),
+        "expected A mismatch, got {err:?}"
+    );
+    let err = plan.execute(&a, &big, &a).unwrap_err();
+    assert!(
+        matches!(err, SparseError::PlanStructureMismatch { operand: "B" }),
+        "expected B mismatch, got {err:?}"
+    );
+
+    // a shape change is named as such
+    let smaller = graph(49, 4);
+    let mut plan = Executor::global().plan::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+    let err = plan.execute(&smaller, &smaller, &smaller).unwrap_err();
+    assert!(
+        matches!(err, SparseError::PlanStructureMismatch { operand: "shape" }),
+        "expected shape mismatch, got {err:?}"
+    );
+}
+
+#[test]
+fn benign_drift_is_tolerated_where_nothing_frozen_depends_on_it() {
+    // Mask-bounded kernels read A and B fresh: a structural drift there
+    // shifts load balance but corrupts nothing, so the plan keeps working
+    // — and keeps producing exactly what a fresh one-shot would.
+    let a = graph(50, 5);
+    let big = grown(&a);
+    let cfg = Config::builder().n_threads(2).n_tiles(4).build();
+    assert!(matches!(cfg.iteration, IterationSpace::Hybrid { .. }));
+    let mut plan = Executor::global().plan::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+    let (got, _) = plan.execute(&big, &big, &a).unwrap();
+    let (want, _) = spgemm::<PlusTimes>(&big, &big, &a, &cfg).unwrap();
+    assert_eq!(got, want, "drifted A/B through a stale-balance plan");
+}
+
+#[test]
+fn session_rebuilds_once_per_structure_change() {
+    let a = graph(40, 6);
+    let big = grown(&a);
+    let cfg = Config::builder().n_threads(2).n_tiles(4).build();
+    let mut session = Session::<PlusTimes>::new(cfg);
+
+    let _ = session.execute(&a, &a, &a).unwrap();
+    let _ = session.execute(&a, &a, &a).unwrap();
+    assert_eq!(session.rebuilds(), 0, "stable structure must not rebuild");
+
+    let (got, _) = session.execute(&big, &big, &big).unwrap();
+    assert_eq!(session.rebuilds(), 1, "one structure change, one rebuild");
+    let (want, _) = spgemm::<PlusTimes>(&big, &big, &big, &cfg).unwrap();
+    assert_eq!(got, want);
+
+    let _ = session.execute(&big, &big, &big).unwrap();
+    assert_eq!(session.rebuilds(), 1, "the rebuilt plan is reused in turn");
+}
+
+#[test]
+fn poisoned_executor_refuses_with_a_structured_error() {
+    let exec = Executor::new();
+    let a = graph(30, 9);
+    let cfg = Config::builder().n_threads(2).n_tiles(2).build();
+    let mut plan = exec.plan::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+    let _ = plan.execute(&a, &a, &a).unwrap();
+
+    exec.debug_poison("test-induced scheduler loss");
+    let err = plan.execute(&a, &a, &a).unwrap_err();
+    assert!(
+        matches!(err, SparseError::ExecutorPoisoned { .. }),
+        "expected ExecutorPoisoned, got {err:?}"
+    );
+    // poisoning is per-executor: the global one is untouched
+    let (got, _) = spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+    assert!(got.nnz() > 0);
+}

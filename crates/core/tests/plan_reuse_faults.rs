@@ -1,0 +1,72 @@
+//! Fault injection through reused plans: a tile panic during
+//! `Plan::execute` degrades (exact serial retry) and never poisons the
+//! `Executor`. Separate binary: the process-global failpoint registry must
+//! be armed before the first kernel run touches it, so every test here
+//! arms (at minimum `ALL_OFF`) as its first action under a shared lock.
+
+use mspgemm_core::{spgemm, Config, Executor};
+use mspgemm_rt::failpoint;
+use mspgemm_sparse::{Coo, Csr, PlusTimes};
+use std::sync::Mutex;
+
+static REGISTRY_LOCK: Mutex<()> = Mutex::new(());
+
+const ALL_OFF: &str =
+    "tile-kernel=off;accum-reset=off;fragment-stitch=off;work-estimate=off";
+
+/// Ring + chords with deterministic pseudo-random values (same generator
+/// as `plan_reuse.rs`).
+fn graph(n: usize, seed: u64) -> Csr<f64> {
+    let mut coo = Coo::new(n, n);
+    for i in 0..n {
+        for d in [1usize, 2, 5] {
+            let j = (i + d) % n;
+            let v = (((i as u64 + d as u64) * 2654435761 + seed) % 97 + 1) as f64;
+            coo.push(i, j, v);
+            coo.push(j, i, v);
+        }
+    }
+    coo.to_csr_sum()
+}
+
+#[test]
+fn fault_reused_plan_is_exact_under_tile_panics_and_leaves_executor_reusable() {
+    let _guard = REGISTRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    failpoint::arm(ALL_OFF).expect("registry must be armable in this binary");
+    let a = graph(60, 7);
+    let cfg = Config::builder().n_threads(2).n_tiles(6).build();
+    let (want, _) = spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+    let mut plan = Executor::global().plan::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+
+    failpoint::arm("tile-kernel=panic@p:1.0,seed:11").unwrap();
+    let (got, stats) = plan.execute(&a, &a, &a).expect("all tiles degrade, none abort");
+    assert_eq!(got, want, "degraded retry through a reused plan is exact");
+    assert!(stats.retried_tiles > 0, "the failpoint really fired");
+    failpoint::arm(ALL_OFF).unwrap();
+
+    // the same plan and the same executor keep working after the fault
+    let (clean, stats) = plan.execute(&a, &a, &a).unwrap();
+    assert_eq!(clean, want);
+    assert_eq!(stats.retried_tiles, 0, "disarmed: no retries");
+}
+
+#[test]
+fn fault_tile_panic_never_poisons_the_executor() {
+    let _guard = REGISTRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    failpoint::arm(ALL_OFF).expect("armable");
+    let exec = Executor::new(); // private executor: poisoning it would prove it
+    let a = graph(40, 8);
+    let cfg = Config::builder().n_threads(2).n_tiles(4).build();
+
+    failpoint::arm("tile-kernel=panic@p:1.0,seed:3").unwrap();
+    let mut plan = exec.plan::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+    let first = plan.execute(&a, &a, &a);
+    failpoint::arm(ALL_OFF).unwrap();
+    // whether the run degraded or failed, the executor must stay usable
+    let (got, _) = exec.execute::<PlusTimes>(&a, &a, &a, &cfg).expect("executor not poisoned");
+    let (want, _) = spgemm::<PlusTimes>(&a, &a, &a, &cfg).unwrap();
+    assert_eq!(got, want);
+    if let Ok((c, _)) = first {
+        assert_eq!(c, want, "a degraded planned run is still exact");
+    }
+}

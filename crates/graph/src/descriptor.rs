@@ -157,7 +157,7 @@ mod tests {
     }
 
     fn cfg() -> Config {
-        Config { n_threads: 2, n_tiles: 4, ..Config::default() }
+        Config::builder().n_threads(2).n_tiles(4).build()
     }
 
     #[test]

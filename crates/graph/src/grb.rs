@@ -11,7 +11,7 @@
 //! whole unmasked product. We implement it anyway as a correctness oracle
 //! and as the baseline for the fused-vs-two-step ablation bench.
 
-use mspgemm_core::{masked_spgemm, Config};
+use mspgemm_core::{spgemm, Config};
 use mspgemm_rt::{obs, par};
 use mspgemm_sparse::ops::ewise_mult;
 use mspgemm_sparse::{Csr, Idx, Semiring, SparseError};
@@ -39,7 +39,7 @@ pub fn masked_mxm<S: Semiring>(
     config: &Config,
 ) -> Result<Csr<S::T>, SparseError> {
     obs::incr(obs::Counter::GrbMxmMasked);
-    masked_spgemm::<S>(a, b, mask, config)
+    spgemm::<S>(a, b, mask, config).map(|(c, _)| c)
 }
 
 /// Row-wise Gustavson SpGEMM without a mask, parallel over rows.
@@ -221,7 +221,7 @@ mod tests {
     #[test]
     fn mxm_dispatches_on_mask() {
         let a = lcg_matrix(20, 20, 4, 3);
-        let cfg = Config { n_threads: 2, ..Config::default() };
+        let cfg = Config::builder().n_threads(2).build();
         let masked = mxm::<PlusTimes>(Some(&a), &a, &a, &cfg).unwrap();
         let unmasked = mxm::<PlusTimes>(None, &a, &a, &cfg).unwrap();
         assert!(masked.nnz() <= unmasked.nnz());
@@ -234,7 +234,7 @@ mod tests {
         // the paper's §III-B point: same result, different cost
         let a = lcg_matrix(30, 30, 5, 7);
         let mask = lcg_matrix(30, 30, 4, 8);
-        let cfg = Config { n_threads: 2, ..Config::default() };
+        let cfg = Config::builder().n_threads(2).build();
         let fused = masked_mxm::<PlusTimes>(&mask, &a, &a, &cfg).unwrap();
         let two = two_step_masked::<PlusTimes>(&mask, &a, &a).unwrap();
         assert_eq!(fused, two);
@@ -265,7 +265,7 @@ mod tests {
         // masked + complemented = unmasked (structurally and in values)
         let a = lcg_matrix(25, 25, 4, 15);
         let mask = lcg_matrix(25, 25, 5, 16);
-        let cfg = Config { n_threads: 2, ..Config::default() };
+        let cfg = Config::builder().n_threads(2).build();
         let full = spgemm_unmasked::<PlusTimes>(&a, &a).unwrap();
         let kept = masked_mxm::<PlusTimes>(&mask, &a, &a, &cfg).unwrap();
         let dropped = masked_mxm_complemented::<PlusTimes>(&mask, &a, &a).unwrap();

@@ -6,8 +6,8 @@
 //! `S = A ⊙ (A × A)` — per-edge triangle support, i.e. exactly the
 //! paper's benchmark kernel — with edge deletion, until a fixpoint.
 
-use crate::grb::masked_mxm;
-use mspgemm_core::Config;
+use mspgemm_core::{Config, Session};
+use mspgemm_rt::obs;
 use mspgemm_sparse::{Csr, PlusPair, SparseError};
 
 /// Result of a k-truss computation.
@@ -28,10 +28,16 @@ pub fn ktruss<T: Copy>(a: &Csr<T>, k: usize, config: &Config) -> Result<KTrussRe
     let min_support = (k - 2) as u64;
     let mut current = a.spones(1u64);
     let mut rounds = 0;
+    // The peeling loop re-enters the same kernel with a fresh (smaller)
+    // structure each round, so run it through a Session: the executor's
+    // worker pool and scratch persist across rounds while the symbolic
+    // plan transparently rebuilds as edges disappear.
+    let mut session = Session::<PlusPair>::new(*config);
     loop {
         rounds += 1;
         // per-edge support on the current subgraph
-        let support = masked_mxm::<PlusPair>(&current, &current, &current, config)?;
+        obs::incr(obs::Counter::GrbMxmMasked);
+        let (support, _) = session.execute(&current, &current, &current)?;
         // keep edges with enough support. `support` stores an entry for
         // every surviving *written* position; edges of `current` whose
         // support row entry is absent have support 0.
@@ -64,7 +70,7 @@ mod tests {
     }
 
     fn cfg() -> Config {
-        Config { n_threads: 2, n_tiles: 4, ..Config::default() }
+        Config::builder().n_threads(2).n_tiles(4).build()
     }
 
     #[test]

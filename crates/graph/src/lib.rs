@@ -4,12 +4,12 @@
 //! algorithms that depend on it: "triangle counting, k-truss analysis,
 //! breath first search, betweenness centrality" (§I). This crate provides
 //! exactly those algorithms, expressed over the
-//! [`mxm`](grb::mxm)/[`masked_mxm`](grb::masked_mxm) primitives the way
+//! [`mxm`]/[`masked_mxm`] primitives the way
 //! GraphBLAS composes them:
 //!
 //! * [`triangles`] — triangle counting via `C = A ⊙ (A×A)` (the paper's
 //!   benchmark kernel) and the Azad et al. lower-triangular variant;
-//! * [`ktruss`] — k-truss peeling, re-running the masked product on the
+//! * [`ktruss`](ktruss()) — k-truss peeling, re-running the masked product on the
 //!   shrinking edge set;
 //! * [`bfs`] — level-synchronous BFS with masked sparse matrix-vector
 //!   products (the `!visited` mask);

@@ -14,7 +14,7 @@
 //! masked-SpGEMM primitive.
 
 use crate::grb::masked_mxm;
-use mspgemm_core::{masked_spgemm_with_stats, Config, RunStats};
+use mspgemm_core::{spgemm, Config, RunStats};
 use mspgemm_rt::obs;
 use mspgemm_sparse::csr::reduce_values;
 use mspgemm_sparse::{Csr, PlusPair, SparseError};
@@ -33,7 +33,7 @@ pub fn count_triangles_with_stats<T: Copy>(
 ) -> Result<(u64, RunStats), SparseError> {
     obs::incr(obs::Counter::GrbMxmMasked);
     let ap = a.spones(1u64);
-    let (c, stats) = masked_spgemm_with_stats::<PlusPair>(&ap, &ap, &ap, config)?;
+    let (c, stats) = spgemm::<PlusPair>(&ap, &ap, &ap, config)?;
     let total = reduce_values(&c, 0u64, |acc, v| acc + v);
     debug_assert_eq!(total % 6, 0, "Σ C must be divisible by 6 for symmetric A");
     Ok((total / 6, stats))
@@ -121,7 +121,7 @@ mod tests {
     }
 
     fn cfg() -> Config {
-        Config { n_threads: 2, n_tiles: 4, ..Config::default() }
+        Config::builder().n_threads(2).n_tiles(4).build()
     }
 
     #[test]

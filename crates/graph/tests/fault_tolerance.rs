@@ -32,7 +32,7 @@ fn fault_triangle_counting_recovers_from_tile_panics() {
     let _guard = REGISTRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     failpoint::arm(ALL_OFF).expect("registry must be armable in this binary");
     let g = ring_with_chords(60);
-    let cfg = Config { n_threads: 2, n_tiles: 6, ..Config::default() };
+    let cfg = Config::builder().n_threads(2).n_tiles(6).build();
     let want = count_triangles(&g, &cfg).expect("clean run");
 
     failpoint::arm("tile-kernel=panic@p:1.0,seed:9").unwrap();
@@ -47,7 +47,7 @@ fn fault_triangle_counting_surfaces_unrecoverable_failures() {
     let _guard = REGISTRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     failpoint::arm(ALL_OFF).expect("armable");
     let g = ring_with_chords(40);
-    let cfg = Config { n_threads: 2, n_tiles: 4, ..Config::default() };
+    let cfg = Config::builder().n_threads(2).n_tiles(4).build();
 
     // accum-reset also kills the degraded retry's dense accumulator, so
     // the algorithm must surface TileFailed — and the process must live

@@ -85,6 +85,7 @@ catalogue! { Counter, COUNTERS_ALL, N_COUNTERS;
     SchedTilesCompleted => "sched.tiles_completed",
     SchedTilesFailed => "sched.tiles_failed",
     SchedQueueClaims => "sched.queue_claims",
+    SchedWorkersSpawned => "sched.workers_spawned",
     AccumDenseFullResets => "accum.dense.full_resets",
     AccumHashFullResets => "accum.hash.full_resets",
     AccumHashProbes => "accum.hash.probes",
@@ -99,6 +100,9 @@ catalogue! { Counter, COUNTERS_ALL, N_COUNTERS;
     DriverCompactionBytes => "driver.compaction_bytes",
     DriverSlackNnz => "driver.slack_nnz",
     DriverRetriedTiles => "driver.retried_tiles",
+    ExecPlanBuilds => "exec.plan_builds",
+    ExecPlanExecutes => "exec.plan_executes",
+    ExecPlanRebuilds => "exec.plan_rebuilds",
     GrbMxmMasked => "grb.mxm_masked",
     GrbMxmUnmasked => "grb.mxm_unmasked",
 }

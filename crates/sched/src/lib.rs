@@ -24,11 +24,13 @@
 //! SuiteSparse baseline behaviour is `balanced_tiles(2p) × Dynamic`; the
 //! headline recommendation is `balanced_tiles(~2048) × Dynamic` (§V-A).
 
+pub mod persistent;
 pub mod pool;
 pub mod slots;
 pub mod tile;
 pub mod work;
 
+pub use persistent::{PoolError, PoolRunError, WorkerPool, WorkerScratch};
 pub use pool::{catch_tile_panic, run_tiles, ExecError, Schedule, ThreadReport, TileFailure};
 pub use slots::DisjointSlots;
 pub use tile::{balanced_tiles, uniform_tiles, Tile, TilingStrategy};

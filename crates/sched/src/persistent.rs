@@ -1,0 +1,660 @@
+//! A persistent worker pool — threads spawned once, parked between runs.
+//!
+//! The scoped pool in [`crate::pool`] spawns `p` fresh OS threads per call,
+//! which is the right shape for one-shot measurements (every run is
+//! hermetic) but wrong for the iterated workloads the paper motivates
+//! masked SpGEMM with (triangle counting, k-truss, BFS — all call
+//! `C = M ⊙ (A × B)` in a loop). This module keeps the workers alive:
+//!
+//! * threads are spawned lazily on first use and then *parked* on a
+//!   condvar between runs — a run costs one lock + broadcast, not `p`
+//!   `clone(2)` calls;
+//! * each worker owns a [`WorkerScratch`] that survives across runs, so
+//!   per-worker state (the sparse accumulator, in the driver) amortises to
+//!   zero steady-state allocation across an entire session, not just
+//!   across the tiles of one call;
+//! * the tile-level fault model of the scoped pool is preserved exactly:
+//!   a panicking tile is caught, recorded as a [`TileFailure`], and the
+//!   worker invalidates its scratch and keeps draining. A panic that
+//!   escapes tile isolation (scheduler-infrastructure failure) *poisons*
+//!   the pool: the in-flight run fails with [`PoolError::Poisoned`] and
+//!   all future runs are refused, but the process — and the caller — live.
+//!
+//! # Protocol
+//!
+//! All coordination lives in one mutex-guarded `PoolState` plus two
+//! condvars. A run bumps `epoch`, publishes the job, sets
+//! `active = n_workers` and broadcasts `work_cv`; each participating
+//! worker executes the job body once, then decrements `active`; the last
+//! one clears the job and broadcasts `done_cv`, on which the submitter
+//! blocks. The job body reference is lifetime-erased to `'static`, which
+//! is sound because the submitter does not return before `active == 0` —
+//! no worker can observe the body after the submitting frame unwinds its
+//! stack (a stored job is always mid-run, hence always valid).
+
+use std::any::Any;
+use std::sync::atomic::AtomicUsize;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use mspgemm_rt::obs;
+
+use crate::pool::{
+    catch_tile_panic, next_range, ExecError, ObsScratch, Schedule, ThreadReport, TileFailure,
+};
+
+/// Pool-infrastructure failure: the run never reached (or never finished)
+/// tile execution. Tile-level failures are *not* reported here — they
+/// surface as [`PoolRunError::Tiles`] with the usual [`ExecError`].
+#[derive(Clone, Debug)]
+pub enum PoolError {
+    /// A panic escaped tile isolation inside a worker. The pool refuses
+    /// all further runs; build a fresh one.
+    Poisoned {
+        /// Stringified payload of the escaping panic.
+        detail: String,
+    },
+    /// The OS refused to spawn a worker thread.
+    Spawn {
+        /// The underlying I/O error, stringified.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::Poisoned { detail } => {
+                write!(f, "worker pool poisoned: {detail}")
+            }
+            PoolError::Spawn { detail } => {
+                write!(f, "failed to spawn worker thread: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Outcome of [`WorkerPool::run_tiles`] when something went wrong: either
+/// the pool itself failed (poisoned / could not spawn) or the run completed
+/// with per-tile failures, exactly like the scoped pool's [`ExecError`].
+#[derive(Debug)]
+pub enum PoolRunError {
+    /// Pool-infrastructure failure; no per-tile accounting is available.
+    Pool(PoolError),
+    /// The queue drained but one or more tiles unwound.
+    Tiles(ExecError),
+}
+
+impl std::fmt::Display for PoolRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolRunError::Pool(e) => e.fmt(f),
+            PoolRunError::Tiles(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for PoolRunError {}
+
+/// Per-worker state that survives across runs. The driver parks its sparse
+/// accumulator here keyed by plan identity, so re-executing a plan touches
+/// no allocator at all on the worker side.
+#[derive(Default)]
+pub struct WorkerScratch {
+    slot: Option<Box<dyn Any + Send>>,
+    owner: u64,
+}
+
+impl WorkerScratch {
+    /// Borrow the cached `T` if `key` matches the builder that produced it,
+    /// else rebuild via `build`. The cache is invalidated on key change
+    /// *or* type change — e.g. arming metrics flips the accumulator's
+    /// `METER` const parameter, which changes its `TypeId`, so a stale
+    /// unmetered accumulator can never leak into a metered run.
+    pub fn get_or_build<T, F>(&mut self, key: u64, build: F) -> &mut T
+    where
+        T: Any + Send,
+        F: FnOnce() -> T,
+    {
+        let stale =
+            self.owner != key || !self.slot.as_ref().is_some_and(|b| b.as_ref().is::<T>());
+        if stale {
+            // drop the old value first so peak memory is one scratch, not two
+            self.slot = None;
+            self.slot = Some(Box::new(build()));
+            self.owner = key;
+        }
+        match self.slot.as_deref_mut().and_then(|b| b.downcast_mut::<T>()) {
+            Some(t) => t,
+            // the branch above just installed a `T` under this key
+            None => unreachable!(),
+        }
+    }
+
+    /// Drop the cached state. Called after a tile panic: the scratch may be
+    /// mid-update, so the next `get_or_build` rebuilds from clean.
+    pub fn invalidate(&mut self) {
+        self.slot = None;
+    }
+}
+
+/// One published run. `body` is lifetime-erased (see module docs for the
+/// soundness argument); `n_workers` caps which worker indices participate.
+#[derive(Clone, Copy)]
+struct Job {
+    n_workers: usize,
+    body: &'static (dyn Fn(usize, &mut WorkerScratch) + Sync),
+}
+
+/// All mutable pool state, guarded by one mutex.
+struct PoolState {
+    /// Bumped once per run; workers use it to detect new work.
+    epoch: u64,
+    /// The in-flight job, `Some` exactly while `active > 0`.
+    job: Option<Job>,
+    /// Participants that have not finished the current job yet.
+    active: usize,
+    /// Set by `Drop`; workers exit their loop when they see it.
+    shutdown: bool,
+    /// First panic that escaped tile isolation; permanent.
+    poison: Option<String>,
+    /// Worker threads spawned so far.
+    workers: usize,
+}
+
+struct Inner {
+    state: Mutex<PoolState>,
+    /// Workers park here between runs.
+    work_cv: Condvar,
+    /// Submitters park here while a run is in flight.
+    done_cv: Condvar,
+}
+
+/// A long-lived worker pool. Threads are spawned lazily (growing to the
+/// largest `n_workers` ever requested) and parked between runs; dropping
+/// the pool shuts them down and joins them.
+pub struct WorkerPool {
+    inner: Arc<Inner>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkerPool {
+    /// Create an empty pool; no threads are spawned until the first run.
+    pub fn new() -> Self {
+        WorkerPool {
+            inner: Arc::new(Inner {
+                state: Mutex::new(PoolState {
+                    epoch: 0,
+                    job: None,
+                    active: 0,
+                    shutdown: false,
+                    poison: None,
+                    workers: 0,
+                }),
+                work_cv: Condvar::new(),
+                done_cv: Condvar::new(),
+            }),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Number of worker threads spawned over the pool's lifetime. Flat
+    /// across same-width runs — the property the CI executor-reuse smoke
+    /// step asserts through the obs snapshot.
+    pub fn spawned_workers(&self) -> usize {
+        self.inner.state.lock().unwrap_or_else(|e| e.into_inner()).workers
+    }
+
+    /// Poison the pool as if a panic had escaped tile isolation. Test/CI
+    /// hook for exercising the refusal path without an actual unwind.
+    #[doc(hidden)]
+    pub fn debug_poison(&self, detail: &str) {
+        let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.poison.is_none() {
+            st.poison = Some(detail.to_string());
+        }
+    }
+
+    /// Execute `body(worker_index, &mut scratch)` once on each of
+    /// `n_workers` pool workers, blocking until all complete.
+    ///
+    /// Errors with [`PoolError::Poisoned`] if the pool is (or becomes)
+    /// poisoned, and [`PoolError::Spawn`] if the pool cannot grow to
+    /// `n_workers` threads.
+    pub fn run(
+        &self,
+        n_workers: usize,
+        body: &(dyn Fn(usize, &mut WorkerScratch) + Sync),
+    ) -> Result<(), PoolError> {
+        let n_workers = n_workers.max(1);
+        let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(detail) = &st.poison {
+            return Err(PoolError::Poisoned { detail: detail.clone() });
+        }
+        // Serialize submitters: wait until no run is in flight. (The core
+        // Executor additionally serializes at its own level; this guard
+        // makes the pool safe regardless of the caller.)
+        while st.active > 0 || st.job.is_some() {
+            st = self.inner.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if let Some(detail) = &st.poison {
+            return Err(PoolError::Poisoned { detail: detail.clone() });
+        }
+        // Grow the pool under the state lock, so the new workers' first
+        // sight of the state already includes the job published below.
+        while st.workers < n_workers {
+            let idx = st.workers;
+            let inner = Arc::clone(&self.inner);
+            let spawned = std::thread::Builder::new()
+                .name(format!("mspgemm-worker-{idx}"))
+                .spawn(move || worker_loop(idx, inner));
+            match spawned {
+                Ok(handle) => {
+                    st.workers += 1;
+                    if obs::armed() {
+                        obs::add(obs::Counter::SchedWorkersSpawned, 1);
+                    }
+                    self.handles.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
+                }
+                Err(e) => return Err(PoolError::Spawn { detail: e.to_string() }),
+            }
+        }
+        // SAFETY: the erased reference is only ever *called* by workers
+        // counted in `active`, and this frame does not return before
+        // `active == 0` (the wait below); the last participant clears the
+        // job before broadcasting, so a stored job is always mid-run and
+        // its body reference always outlives every use.
+        let body: &'static (dyn Fn(usize, &mut WorkerScratch) + Sync) =
+            unsafe { std::mem::transmute(body) };
+        st.job = Some(Job { n_workers, body });
+        st.epoch = st.epoch.wrapping_add(1);
+        let my_epoch = st.epoch;
+        st.active = n_workers;
+        self.inner.work_cv.notify_all();
+        while st.active > 0 && st.epoch == my_epoch {
+            st = self.inner.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if let Some(detail) = &st.poison {
+            return Err(PoolError::Poisoned { detail: detail.clone() });
+        }
+        Ok(())
+    }
+
+    /// Execute `n_tiles` tiles on `n_threads` pool workers under
+    /// `schedule`, with the same per-tile fault isolation, claim metering
+    /// and tracing as the scoped [`crate::pool::run_tiles`] — but on
+    /// parked, reusable threads, and with `body` receiving the worker's
+    /// cross-run [`WorkerScratch`] instead of per-call state.
+    ///
+    /// `body(worker, scratch, tile)` runs once per tile; an unwinding tile
+    /// is recorded as a [`TileFailure`] (and the worker's scratch
+    /// invalidated, since it may be mid-update) while siblings keep
+    /// draining. Tile failures surface as [`PoolRunError::Tiles`]; a panic
+    /// escaping the infrastructure itself poisons the pool and surfaces as
+    /// [`PoolRunError::Pool`].
+    pub fn run_tiles<F>(
+        &self,
+        n_threads: usize,
+        n_tiles: usize,
+        schedule: Schedule,
+        body: F,
+    ) -> Result<Vec<ThreadReport>, PoolRunError>
+    where
+        F: Fn(usize, &mut WorkerScratch, usize) + Sync,
+    {
+        let n_threads = n_threads.max(1);
+        if n_tiles == 0 {
+            return Ok(vec![ThreadReport::default(); n_threads]);
+        }
+        let queue = AtomicUsize::new(0);
+        let failures: Mutex<Vec<TileFailure>> = Mutex::new(Vec::new());
+        let reports: Vec<Mutex<ThreadReport>> =
+            (0..n_threads).map(|_| Mutex::new(ThreadReport::default())).collect();
+        // armed-state sampled once per run, same discipline as the scoped
+        // pool: per-tile observability costs one branch on a local bool
+        let metrics_on = obs::armed();
+        let trace_on = obs::trace_armed();
+        let meter_claims = metrics_on && !matches!(schedule, Schedule::Static);
+
+        let job = |t: usize, ws: &mut WorkerScratch| {
+            let mut report = ThreadReport::default();
+            let mut scratch = ObsScratch::default();
+            let mut static_done = false;
+            loop {
+                let claim_start = if meter_claims { Some(Instant::now()) } else { None };
+                let claimed =
+                    next_range(schedule, t, n_threads, n_tiles, &queue, &mut static_done);
+                if let Some(s) = claim_start {
+                    scratch.claims += 1;
+                    scratch.claim_ns.record(s.elapsed().as_nanos() as u64);
+                }
+                let Some((lo, hi)) = claimed else { break };
+                for tile in lo..hi {
+                    let ts_us = if trace_on { obs::now_us() } else { 0 };
+                    let start = Instant::now();
+                    if metrics_on {
+                        scratch.started += 1;
+                    }
+                    match catch_tile_panic(|| body(t, ws, tile)) {
+                        Ok(()) => {
+                            let elapsed = start.elapsed();
+                            report.busy += elapsed;
+                            report.tiles_run += 1;
+                            if metrics_on {
+                                scratch.completed += 1;
+                                scratch.tile_us.record(elapsed.as_micros() as u64);
+                            }
+                            if trace_on {
+                                obs::complete_event(
+                                    "tile",
+                                    tile as u64,
+                                    t as u64,
+                                    ts_us,
+                                    elapsed.as_micros() as u64,
+                                );
+                            }
+                        }
+                        Err(msg) => {
+                            report.tiles_failed += 1;
+                            scratch.failed += 1;
+                            let mut guard =
+                                failures.lock().unwrap_or_else(|e| e.into_inner());
+                            guard.push(TileFailure {
+                                tile,
+                                payload: msg,
+                                elapsed: start.elapsed(),
+                            });
+                            drop(guard);
+                            // cross-run scratch may be mid-update; rebuild
+                            // from clean on next use
+                            ws.invalidate();
+                        }
+                    }
+                }
+            }
+            // flushed here — before the worker decrements `active` — so a
+            // snapshot delta taken around the run sees every sample
+            if metrics_on {
+                scratch.flush(report.busy);
+            }
+            *reports[t].lock().unwrap_or_else(|e| e.into_inner()) = report;
+        };
+
+        self.run(n_threads, &job).map_err(PoolRunError::Pool)?;
+
+        let mut failures = failures.into_inner().unwrap_or_else(|e| e.into_inner());
+        let reports: Vec<ThreadReport> = reports
+            .into_iter()
+            .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+            .collect();
+        if failures.is_empty() {
+            Ok(reports)
+        } else {
+            failures.sort_by_key(|f| f.tile);
+            Err(PoolRunError::Tiles(ExecError { failures, reports }))
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.shutdown = true;
+            self.inner.work_cv.notify_all();
+        }
+        let handles =
+            std::mem::take(&mut *self.handles.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The parked-worker loop: wait for an epoch bump, run the job if this
+/// worker participates, decrement the latch, repeat until shutdown.
+fn worker_loop(idx: usize, inner: Arc<Inner>) {
+    let mut scratch = WorkerScratch::default();
+    let mut seen_epoch = 0u64;
+    loop {
+        let mut st = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if st.shutdown {
+                return;
+            }
+            if st.epoch != seen_epoch {
+                if st.job.is_some() {
+                    break;
+                }
+                // the run we missed already completed; catch up and park
+                seen_epoch = st.epoch;
+            }
+            st = inner.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        seen_epoch = st.epoch;
+        // a stored job is always mid-run (`active > 0`), so the erased
+        // body reference is valid for the duration of this call
+        let job = match st.job {
+            Some(job) => job,
+            None => continue,
+        };
+        drop(st);
+        if idx < job.n_workers {
+            let outcome = catch_tile_panic(|| (job.body)(idx, &mut scratch));
+            let mut st = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            if let Err(msg) = outcome {
+                // a panic past tile isolation means scheduler state is
+                // suspect: fail this run and refuse all future ones
+                if st.poison.is_none() {
+                    st.poison = Some(format!("worker {idx}: {msg}"));
+                }
+                scratch.invalidate();
+            }
+            st.active -= 1;
+            if st.active == 0 {
+                st.job = None;
+                inner.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn every_tile_runs_exactly_once_on_every_schedule() {
+        let pool = WorkerPool::new();
+        for schedule in [
+            Schedule::Static,
+            Schedule::Dynamic { chunk: 1 },
+            Schedule::Dynamic { chunk: 7 },
+            Schedule::Guided { chunk: 1 },
+        ] {
+            let n_tiles = 97;
+            let counts: Vec<AtomicU64> = (0..n_tiles).map(|_| AtomicU64::new(0)).collect();
+            let reports = pool
+                .run_tiles(4, n_tiles, schedule, |_, _, tile| {
+                    counts[tile].fetch_add(1, Ordering::Relaxed);
+                })
+                .unwrap();
+            for (i, c) in counts.iter().enumerate() {
+                assert_eq!(c.load(Ordering::Relaxed), 1, "tile {i} under {schedule:?}");
+            }
+            assert_eq!(reports.iter().map(|r| r.tiles_run).sum::<usize>(), n_tiles);
+        }
+    }
+
+    #[test]
+    fn workers_are_spawned_once_and_reused() {
+        let pool = WorkerPool::new();
+        for _ in 0..10 {
+            pool.run_tiles(3, 32, Schedule::Dynamic { chunk: 1 }, |_, _, _| {}).unwrap();
+        }
+        assert_eq!(pool.spawned_workers(), 3, "thread count stays flat across runs");
+        // a wider run grows the pool once; narrower runs after that reuse it
+        pool.run_tiles(5, 32, Schedule::Static, |_, _, _| {}).unwrap();
+        pool.run_tiles(2, 32, Schedule::Static, |_, _, _| {}).unwrap();
+        assert_eq!(pool.spawned_workers(), 5);
+    }
+
+    #[test]
+    fn worker_scratch_survives_across_runs() {
+        let pool = WorkerPool::new();
+        let builds = AtomicU64::new(0);
+        for _ in 0..5 {
+            pool.run_tiles(2, 16, Schedule::Static, |_, ws, _| {
+                let v: &mut Vec<u8> = ws.get_or_build(7, || {
+                    builds.fetch_add(1, Ordering::Relaxed);
+                    Vec::new()
+                });
+                v.push(0);
+            })
+            .unwrap();
+        }
+        assert_eq!(
+            builds.load(Ordering::Relaxed),
+            2,
+            "one build per worker for the whole session, not per run"
+        );
+    }
+
+    #[test]
+    fn scratch_rebuilds_on_key_or_type_change() {
+        let mut ws = WorkerScratch::default();
+        let v: &mut Vec<u8> = ws.get_or_build(1, || vec![1u8]);
+        v.push(2);
+        assert_eq!(ws.get_or_build::<Vec<u8>, _>(1, Vec::new), &[1, 2], "same key reuses");
+        assert!(ws.get_or_build::<Vec<u8>, _>(2, Vec::new).is_empty(), "key change rebuilds");
+        let s: &mut String = ws.get_or_build(2, String::new);
+        assert!(s.is_empty(), "type change rebuilds even under the same key");
+        ws.invalidate();
+        assert!(
+            ws.get_or_build::<String, _>(2, String::new).is_empty(),
+            "invalidate drops the cached state"
+        );
+    }
+
+    #[test]
+    fn tile_panic_is_isolated_and_does_not_poison_the_pool() {
+        let pool = WorkerPool::new();
+        let err = pool
+            .run_tiles(4, 40, Schedule::Dynamic { chunk: 1 }, |_, _, tile| {
+                if tile == 13 {
+                    panic!("kernel died on tile {tile}");
+                }
+            })
+            .expect_err("tile 13 must be reported");
+        match err {
+            PoolRunError::Tiles(e) => {
+                assert_eq!(e.failures.len(), 1);
+                assert_eq!(e.failures[0].tile, 13);
+                assert!(e.failures[0].payload.contains("kernel died on tile 13"));
+                assert_eq!(
+                    e.reports.iter().map(|r| r.tiles_run).sum::<usize>(),
+                    39,
+                    "survivors drain the queue"
+                );
+            }
+            PoolRunError::Pool(e) => panic!("tile failure must not be a pool failure: {e}"),
+        }
+        // the pool is still healthy: a follow-up run succeeds
+        let reports =
+            pool.run_tiles(4, 40, Schedule::Dynamic { chunk: 1 }, |_, _, _| {}).unwrap();
+        assert_eq!(reports.iter().map(|r| r.tiles_run).sum::<usize>(), 40);
+    }
+
+    #[test]
+    fn tile_panic_invalidates_the_worker_scratch() {
+        let pool = WorkerPool::new();
+        let builds = AtomicU64::new(0);
+        let result = pool.run_tiles(1, 8, Schedule::Static, |_, ws, tile| {
+            ws.get_or_build(3, || {
+                builds.fetch_add(1, Ordering::Relaxed);
+                0u64
+            });
+            if tile == 2 {
+                panic!("mid-update");
+            }
+        });
+        assert!(matches!(result, Err(PoolRunError::Tiles(_))));
+        assert_eq!(
+            builds.load(Ordering::Relaxed),
+            2,
+            "scratch is rebuilt exactly once, after the panic"
+        );
+    }
+
+    #[test]
+    fn job_level_panic_poisons_the_pool() {
+        let pool = WorkerPool::new();
+        let err = pool
+            .run(2, &|t, _ws| {
+                if t == 1 {
+                    panic!("infrastructure failure");
+                }
+            })
+            .expect_err("the escaping panic must fail the run");
+        assert!(matches!(err, PoolError::Poisoned { ref detail } if detail.contains("infrastructure failure")));
+        // all future runs are refused
+        let err = pool.run(2, &|_, _| {}).expect_err("poison is permanent");
+        assert!(matches!(err, PoolError::Poisoned { .. }));
+        let err = pool
+            .run_tiles(2, 8, Schedule::Static, |_, _, _| {})
+            .expect_err("run_tiles is refused too");
+        assert!(matches!(err, PoolRunError::Pool(PoolError::Poisoned { .. })));
+    }
+
+    #[test]
+    fn debug_poison_refuses_future_runs() {
+        let pool = WorkerPool::new();
+        pool.run_tiles(2, 8, Schedule::Static, |_, _, _| {}).unwrap();
+        pool.debug_poison("injected for test");
+        let err = pool
+            .run_tiles(2, 8, Schedule::Static, |_, _, _| {})
+            .expect_err("poisoned pool refuses");
+        assert!(
+            matches!(err, PoolRunError::Pool(PoolError::Poisoned { ref detail }) if detail.contains("injected"))
+        );
+    }
+
+    #[test]
+    fn zero_tiles_is_a_noop() {
+        let pool = WorkerPool::new();
+        let reports = pool
+            .run_tiles(4, 0, Schedule::Static, |_, _, _: usize| panic!("no tiles"))
+            .unwrap();
+        assert_eq!(reports.len(), 4);
+        assert_eq!(pool.spawned_workers(), 0, "no work, no threads");
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        let pool = WorkerPool::new();
+        pool.run_tiles(4, 16, Schedule::Dynamic { chunk: 1 }, |_, _, _| {}).unwrap();
+        drop(pool); // must not hang or leak threads
+    }
+
+    #[test]
+    fn reports_account_for_busy_time() {
+        let pool = WorkerPool::new();
+        let reports = pool
+            .run_tiles(2, 8, Schedule::Dynamic { chunk: 1 }, |_, _, _| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            })
+            .unwrap();
+        assert!(reports.iter().any(|r| r.busy.as_micros() > 0));
+        assert_eq!(reports.iter().map(|r| r.tiles_run).sum::<usize>(), 8);
+    }
+}

@@ -39,20 +39,21 @@ use mspgemm_rt::obs;
 
 /// Per-worker observability scratch: plain integers bumped on the worker's
 /// own stack and folded into the global `obs` registry once, when the
-/// worker exits. Unarmed runs skip even these (see `metrics_on` below), so
-/// the scheduling loops stay free of atomic traffic either way.
+/// worker exits (scoped pool) or finishes its share of a run (persistent
+/// pool). Unarmed runs skip even these (see `metrics_on` below), so the
+/// scheduling loops stay free of atomic traffic either way.
 #[derive(Default)]
-struct ObsScratch {
-    started: u64,
-    completed: u64,
-    failed: u64,
-    claims: u64,
-    claim_ns: obs::LocalHist,
-    tile_us: obs::LocalHist,
+pub(crate) struct ObsScratch {
+    pub(crate) started: u64,
+    pub(crate) completed: u64,
+    pub(crate) failed: u64,
+    pub(crate) claims: u64,
+    pub(crate) claim_ns: obs::LocalHist,
+    pub(crate) tile_us: obs::LocalHist,
 }
 
 impl ObsScratch {
-    fn flush(&mut self, busy: Duration) {
+    pub(crate) fn flush(&mut self, busy: Duration) {
         obs::add(obs::Counter::SchedTilesStarted, self.started);
         obs::add(obs::Counter::SchedTilesCompleted, self.completed);
         obs::add(obs::Counter::SchedTilesFailed, self.failed);
@@ -182,6 +183,64 @@ fn install_quiet_hook() {
             }
         }));
     });
+}
+
+/// Claim the next contiguous tile range for worker `t` under `schedule`,
+/// or `None` once the worker's share of the queue is drained. This is the
+/// one implementation of the three claim disciplines, shared by the scoped
+/// pool ([`run_tiles`]) and the persistent pool
+/// (`crate::persistent::WorkerPool`):
+///
+/// * static — the worker's single offline block (`*static_done` marks it
+///   claimed; same arithmetic as uniform tiling);
+/// * dynamic — `fetch_add(chunk)` on the shared queue;
+/// * guided — CAS loop grabbing `max(chunk, remaining / 2p)` tiles.
+pub(crate) fn next_range(
+    schedule: Schedule,
+    t: usize,
+    n_threads: usize,
+    n_tiles: usize,
+    queue: &AtomicUsize,
+    static_done: &mut bool,
+) -> Option<(usize, usize)> {
+    match schedule {
+        Schedule::Static => {
+            if *static_done {
+                return None;
+            }
+            *static_done = true;
+            let base = n_tiles / n_threads;
+            let extra = n_tiles % n_threads;
+            let lo = t * base + t.min(extra);
+            let len = base + usize::from(t < extra);
+            Some((lo, lo + len))
+        }
+        Schedule::Dynamic { chunk } => {
+            let chunk = chunk.max(1);
+            let lo = queue.fetch_add(chunk, Ordering::Relaxed);
+            (lo < n_tiles).then(|| (lo, (lo + chunk).min(n_tiles)))
+        }
+        Schedule::Guided { chunk } => {
+            let chunk = chunk.max(1);
+            loop {
+                let cur = queue.load(Ordering::Relaxed);
+                if cur >= n_tiles {
+                    return None;
+                }
+                let remaining = n_tiles - cur;
+                let grab = (remaining / (2 * n_threads)).max(chunk);
+                match queue.compare_exchange_weak(
+                    cur,
+                    cur + grab,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return Some((cur, (cur + grab).min(n_tiles))),
+                    Err(_) => continue,
+                }
+            }
+        }
+    }
 }
 
 /// Stringify an unwind payload, preserving `&str`/`String` messages.
@@ -323,71 +382,23 @@ where
                     }
                     true
                 };
-                match schedule {
-                    Schedule::Static => {
-                        // contiguous blocks, same arithmetic as uniform tiling
-                        let base = n_tiles / n_threads;
-                        let extra = n_tiles % n_threads;
-                        let lo = t * base + t.min(extra);
-                        let len = base + usize::from(t < extra);
-                        run_range(&mut state, &mut report, &mut scratch, lo, lo + len);
+                // Unified claim loop over the shared `next_range` discipline.
+                // Static's single offline block is unmetered (there is no
+                // queue operation to measure); dynamic/guided meter every
+                // claim, including the final failed one that drains a worker.
+                let meter_claims = metrics_on && !matches!(schedule, Schedule::Static);
+                let mut static_done = false;
+                loop {
+                    let claim_start = if meter_claims { Some(Instant::now()) } else { None };
+                    let claimed =
+                        next_range(schedule, t, n_threads, n_tiles, queue, &mut static_done);
+                    if let Some(s) = claim_start {
+                        scratch.claims += 1;
+                        scratch.claim_ns.record(s.elapsed().as_nanos() as u64);
                     }
-                    Schedule::Dynamic { chunk } => {
-                        let chunk = chunk.max(1);
-                        loop {
-                            let claim_start =
-                                if metrics_on { Some(Instant::now()) } else { None };
-                            let lo = queue.fetch_add(chunk, Ordering::Relaxed);
-                            if let Some(s) = claim_start {
-                                scratch.claims += 1;
-                                scratch.claim_ns.record(s.elapsed().as_nanos() as u64);
-                            }
-                            if lo >= n_tiles {
-                                break;
-                            }
-                            let hi = (lo + chunk).min(n_tiles);
-                            if !run_range(&mut state, &mut report, &mut scratch, lo, hi) {
-                                break;
-                            }
-                        }
-                    }
-                    Schedule::Guided { chunk } => {
-                        let chunk = chunk.max(1);
-                        loop {
-                            let claim_start =
-                                if metrics_on { Some(Instant::now()) } else { None };
-                            // CAS loop: grab size depends on how much is left
-                            let lo = loop {
-                                let cur = queue.load(Ordering::Relaxed);
-                                if cur >= n_tiles {
-                                    break usize::MAX;
-                                }
-                                let remaining = n_tiles - cur;
-                                let grab = (remaining / (2 * n_threads)).max(chunk);
-                                match queue.compare_exchange_weak(
-                                    cur,
-                                    cur + grab,
-                                    Ordering::Relaxed,
-                                    Ordering::Relaxed,
-                                ) {
-                                    Ok(_) => break cur,
-                                    Err(_) => continue,
-                                }
-                            };
-                            if let Some(s) = claim_start {
-                                scratch.claims += 1;
-                                scratch.claim_ns.record(s.elapsed().as_nanos() as u64);
-                            }
-                            if lo == usize::MAX {
-                                break;
-                            }
-                            let remaining = n_tiles - lo;
-                            let grab = (remaining / (2 * n_threads)).max(chunk);
-                            let hi = (lo + grab).min(n_tiles);
-                            if !run_range(&mut state, &mut report, &mut scratch, lo, hi) {
-                                break;
-                            }
-                        }
+                    let Some((lo, hi)) = claimed else { break };
+                    if !run_range(&mut state, &mut report, &mut scratch, lo, hi) {
+                        break;
                     }
                 }
                 if metrics_on {

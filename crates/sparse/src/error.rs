@@ -45,6 +45,20 @@ pub enum SparseError {
     /// the stitch phase unwound). Library code surfaces this instead of
     /// panicking; it always indicates a bug, never bad user input.
     Internal { detail: String },
+    /// An argument value is outside the accepted range for the entry point
+    /// (e.g. zero column bands, an empty tuner sweep grid). Unlike
+    /// [`Internal`](Self::Internal) this indicates caller input, not a bug.
+    InvalidConfig { detail: String },
+    /// A reusable execution plan was run against operands whose sparsity
+    /// structure no longer matches the structure the plan was built from.
+    /// `operand` names what drifted (`"A"`, `"B"`, `"mask"` or `"shape"`);
+    /// rebuild the plan (or use a `Session`, which rebuilds automatically).
+    PlanStructureMismatch { operand: &'static str },
+    /// The executor's persistent worker pool was poisoned by a panic that
+    /// escaped tile isolation (scheduler-infrastructure failure, never an
+    /// ordinary kernel panic — those are retried per tile). The executor
+    /// refuses further runs; build a fresh one.
+    ExecutorPoisoned { detail: String },
 }
 
 impl fmt::Display for SparseError {
@@ -89,6 +103,19 @@ impl fmt::Display for SparseError {
             SparseError::Internal { detail } => {
                 write!(f, "internal invariant violated: {detail}")
             }
+            SparseError::InvalidConfig { detail } => {
+                write!(f, "invalid configuration: {detail}")
+            }
+            SparseError::PlanStructureMismatch { operand } => write!(
+                f,
+                "plan structure mismatch: the sparsity structure of {operand} differs \
+                 from the structure the plan was built from; rebuild the plan"
+            ),
+            SparseError::ExecutorPoisoned { detail } => write!(
+                f,
+                "executor poisoned by a panic outside tile isolation: {detail}; \
+                 create a new executor"
+            ),
         }
     }
 }
@@ -144,6 +171,31 @@ mod tests {
         assert!(s.contains("tile 3"), "{s}");
         assert!(s.contains("96..128"), "{s}");
         assert!(s.contains("degraded retry"), "{s}");
+    }
+
+    #[test]
+    fn plan_structure_mismatch_names_the_operand() {
+        let e = SparseError::PlanStructureMismatch { operand: "mask" };
+        let s = e.to_string();
+        assert!(s.contains("plan structure mismatch"), "{s}");
+        assert!(s.contains("mask"), "{s}");
+        assert!(s.contains("rebuild"), "{s}");
+    }
+
+    #[test]
+    fn executor_poisoned_tells_the_caller_to_rebuild() {
+        let e = SparseError::ExecutorPoisoned { detail: "scheduler unwound".into() };
+        let s = e.to_string();
+        assert!(s.contains("poisoned"), "{s}");
+        assert!(s.contains("scheduler unwound"), "{s}");
+        assert!(s.contains("new executor"), "{s}");
+    }
+
+    #[test]
+    fn invalid_config_is_a_caller_error() {
+        let e = SparseError::InvalidConfig { detail: "col_bands must be >= 1".into() };
+        assert!(e.to_string().contains("invalid configuration"));
+        assert!(e.to_string().contains("col_bands"));
     }
 
     #[test]

@@ -19,7 +19,8 @@ fn main() {
         println!("\n=== {} ({} rows, {} nnz) ===", spec.name, a.nrows(), a.nnz());
 
         let opts = TunerOptions::default();
-        let report = tune::<PlusPair>(&a, &a, &a, &opts);
+        let report = tune::<PlusPair>(&a, &a, &a, &opts)
+            .expect("suite graphs are square and the default grids are non-empty");
 
         let worst = report
             .stage1
@@ -39,8 +40,7 @@ fn main() {
         );
 
         // compare with the paper's static recommendation
-        let (_, stats) =
-            masked_spgemm_with_stats::<PlusPair>(&a, &a, &a, &Config::default()).unwrap();
+        let (_, stats) = spgemm::<PlusPair>(&a, &a, &a, &Config::default()).unwrap();
         println!(
             "paper default: {:<55} {:>8.2} ms",
             Config::default().label(),
@@ -48,8 +48,8 @@ fn main() {
         );
 
         // the tuned config must still be correct
-        let want = masked_spgemm::<PlusPair>(&a, &a, &a, &Config::default()).unwrap();
-        let got = masked_spgemm::<PlusPair>(&a, &a, &a, &report.best).unwrap();
+        let (want, _) = spgemm::<PlusPair>(&a, &a, &a, &Config::default()).unwrap();
+        let (got, _) = spgemm::<PlusPair>(&a, &a, &a, &report.best).unwrap();
         assert_eq!(want, got, "tuning must not change results");
         println!("tuned result identical to default result ✓");
     }

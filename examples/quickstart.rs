@@ -24,7 +24,7 @@ fn main() {
     // the number of triangles that edge participates in.
     let ap = a.spones(1u64);
     let config = Config::default(); // balanced/dynamic/2048/hash32/hybrid κ=1
-    let support = masked_spgemm::<PlusPair>(&ap, &ap, &ap, &config).unwrap();
+    let (support, _) = spgemm::<PlusPair>(&ap, &ap, &ap, &config).unwrap();
     println!("edge triangle support:");
     for (i, j, s) in support.iter() {
         if i < j as usize {
@@ -47,16 +47,16 @@ fn main() {
         IterationSpace::CoIterate,
         IterationSpace::Hybrid { kappa: 1.0 },
     ] {
-        let cfg = Config { iteration, ..Config::default() };
-        let c = masked_spgemm::<PlusPair>(&ap, &ap, &ap, &cfg).unwrap();
+        let cfg = Config::builder().iteration(iteration).build();
+        let (c, _) = spgemm::<PlusPair>(&ap, &ap, &ap, &cfg).unwrap();
         assert_eq!(c, support);
     }
     println!("all four iteration spaces agree ✓");
 
     // Accumulator: dense vs hash, any marker width.
     for acc in AccumulatorKind::all() {
-        let cfg = Config { accumulator: acc, ..Config::default() };
-        let c = masked_spgemm::<PlusPair>(&ap, &ap, &ap, &cfg).unwrap();
+        let cfg = Config::builder().accumulator(acc).build();
+        let (c, _) = spgemm::<PlusPair>(&ap, &ap, &ap, &cfg).unwrap();
         assert_eq!(c, support);
     }
     println!("all eight accumulators agree ✓");
@@ -64,18 +64,30 @@ fn main() {
     // Tiling and scheduling: uniform vs balanced × static vs dynamic.
     for tiling in TilingStrategy::all() {
         for schedule in Schedule::all() {
-            let cfg = Config { tiling, schedule, n_tiles: 3, ..Config::default() };
-            let c = masked_spgemm::<PlusPair>(&ap, &ap, &ap, &cfg).unwrap();
+            let cfg = Config::builder().tiling(tiling).schedule(schedule).n_tiles(3).build();
+            let (c, _) = spgemm::<PlusPair>(&ap, &ap, &ap, &cfg).unwrap();
             assert_eq!(c, support);
         }
     }
     println!("all tiling × scheduling combinations agree ✓");
 
     // --- 5. measurements come back with the result --------------------
-    let (_, stats) = masked_spgemm_with_stats::<PlusPair>(&ap, &ap, &ap, &config).unwrap();
+    let (_, stats) = spgemm::<PlusPair>(&ap, &ap, &ap, &config).unwrap();
     println!(
         "kernel: {:?} on {} threads, {} tiles, estimated work {}, imbalance {:.2}",
         stats.elapsed, stats.n_threads, stats.n_tiles, stats.estimated_work,
         stats.imbalance()
     );
+
+    // --- 6. iterated workloads: plan once, execute many ----------------
+    // A Session freezes the symbolic phase (work estimation, tiling, mask
+    // slot layout) into a reusable plan and keeps the worker pool warm;
+    // re-executing on the same structure skips the whole prologue.
+    let mut session = Session::<PlusPair>::new(config);
+    for _ in 0..3 {
+        let (c, _) = session.execute(&ap, &ap, &ap).unwrap();
+        assert_eq!(c, support);
+    }
+    assert_eq!(session.rebuilds(), 0, "same structure: the plan was reused");
+    println!("session reused one plan across 3 executions \u{2713}");
 }

@@ -26,18 +26,18 @@ fn main() {
 
     // --- plus_times: the numeric kernel -------------------------------
     let a_num = pattern.map_values(|_| 1.5f64);
-    let c = masked_spgemm::<PlusTimes>(&a_num, &a_num, &a_num, &cfg).unwrap();
+    let (c, _) = spgemm::<PlusTimes>(&a_num, &a_num, &a_num, &cfg).unwrap();
     println!("plus_times: C = A⊙(A×A) has {} entries; C[i,j] = 2.25·|wedges|", c.nnz());
 
     // --- plus_pair: triangle support ----------------------------------
     let a_pair = pattern.spones(1u64);
-    let c = masked_spgemm::<PlusPair>(&a_pair, &a_pair, &a_pair, &cfg).unwrap();
+    let (c, _) = spgemm::<PlusPair>(&a_pair, &a_pair, &a_pair, &cfg).unwrap();
     let total: u64 = c.values().iter().sum();
     println!("plus_pair : Σ support = {total} = 6 × {} triangles", total / 6);
 
     // --- boolean: which edges close a 2-path --------------------------
     let a_bool = pattern.spones(true);
-    let c = masked_spgemm::<BoolOrAnd>(&a_bool, &a_bool, &a_bool, &cfg).unwrap();
+    let (c, _) = spgemm::<BoolOrAnd>(&a_bool, &a_bool, &a_bool, &cfg).unwrap();
     println!(
         "lor_land  : {} of {} edges participate in a triangle",
         c.nnz(),
@@ -49,7 +49,7 @@ fn main() {
     // existing edges = length of the best detour around each edge (2 when
     // the edge closes a triangle)
     let a_w = pattern.map_values(|_| 1u64);
-    let c = masked_spgemm::<MinPlus>(&a_w, &a_w, &a_w, &cfg).unwrap();
+    let (c, _) = spgemm::<MinPlus>(&a_w, &a_w, &a_w, &cfg).unwrap();
     let detour2 = c.values().iter().filter(|&&v| v == 2).count();
     println!(
         "min_plus  : {} edges have a 2-hop detour (consistent with lor_land: {})",
@@ -58,7 +58,7 @@ fn main() {
     );
 
     // cross-semiring consistency checks
-    let c_bool = masked_spgemm::<BoolOrAnd>(&a_bool, &a_bool, &a_bool, &cfg).unwrap();
+    let (c_bool, _) = spgemm::<BoolOrAnd>(&a_bool, &a_bool, &a_bool, &cfg).unwrap();
     assert_eq!(c.nnz(), c_bool.nnz(), "min_plus and boolean see the same structure");
     assert_eq!(detour2, c.nnz(), "unit weights: every stored detour is length 2");
     println!("\ncross-semiring structural agreement ✓");

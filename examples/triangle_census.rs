@@ -56,6 +56,7 @@ fn main() {
                 Preset::GrBLike => "grb",
                 Preset::Tuned => "tuned",
                 Preset::TunedGuided => "guided",
+                _ => "?",
             }
         );
     }

@@ -110,13 +110,18 @@ fi
 echo "ok: kernel non-test code performs no heap allocation"
 
 echo "== panic-hygiene grep gate =="
-# Non-test code of the pool and the driver must stay free of
-# .unwrap()/.expect(/panic! — panic isolation is only as good as the code
-# that implements it. Test modules (from `#[cfg(test)]` onward; tests sit
-# at the bottom of both files) are exempt.
+# Non-test code of the pool, the persistent worker layer, the driver,
+# and the plan/executor layer must stay free of .unwrap()/.expect(/panic!
+# — panic isolation is only as good as the code that implements it. Test
+# modules (from `#[cfg(test)]` onward) and comment lines (doc examples
+# unwrap on purpose) are exempt.
 gate_fail=0
-for f in crates/sched/src/pool.rs crates/core/src/driver.rs; do
-    hits=$(awk '/^#\[cfg\(test\)\]/ { exit } /\.unwrap\(\)|\.expect\(|panic!/ { print FILENAME ":" FNR ": " $0 }' "$f")
+for f in crates/sched/src/pool.rs crates/sched/src/persistent.rs \
+         crates/core/src/driver.rs crates/core/src/plan.rs \
+         crates/core/src/executor.rs; do
+    hits=$(awk '/^#\[cfg\(test\)\]/ { exit }
+                /^[[:space:]]*\/\// { next }
+                /\.unwrap\(\)|\.expect\(|panic!/ { print FILENAME ":" FNR ": " $0 }' "$f")
     if [ -n "$hits" ]; then
         echo "FAIL: panic-prone call in non-test code of $f:" >&2
         echo "$hits" >&2
@@ -124,6 +129,20 @@ for f in crates/sched/src/pool.rs crates/core/src/driver.rs; do
     fi
 done
 [ "$gate_fail" -eq 0 ] || exit 1
-echo "ok: pool and driver non-test code is unwrap/panic free"
+echo "ok: pool/persistent/driver/plan/executor non-test code is unwrap/panic free"
+
+echo "== executor reuse smoke (flat thread count) =="
+# 50 plan.execute iterations through one Session must spawn the worker
+# pool exactly once: the CLI session subcommand reads the
+# sched.workers_spawned counter before and after the loop and exits
+# non-zero if it moved (or if the session rebuilt its plan).
+MSPGEMM_METRICS=1 target/release/mspgemm session \
+    --graph GAP-road --scale 0.1 --iters 50 > /dev/null
+echo "ok: 50 reused executions, zero extra worker spawns"
+
+echo "== doc build (warnings are errors) =="
+# The Session/Plan/Executor surface is documented API: intra-doc links
+# and doc examples must stay valid.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline -q
 
 echo "CI OK"

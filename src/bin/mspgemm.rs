@@ -213,29 +213,37 @@ fn check_metrics_doc(doc: &json::Value) -> Result<String, String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mspgemm <tc|run|tune|predict|stats|check-metrics> [options]\n\
+        "usage: mspgemm <tc|run|session|tune|predict|stats|check-metrics|list> [options]\n\
          \n\
          input (one of):\n\
            --mtx <file>        Matrix Market file (symmetrised, boolean)\n\
            --graph <name>      synthetic suite graph (see `mspgemm list`)\n\
            --scale <f>         synthetic graph scale (default 0.3)\n\
          \n\
-         kernel options (run/tc):\n\
-           --threads <n>       worker threads (default: all cores)\n\
+         tiling & scheduling — §V-A (run/tc/session):\n\
            --tiles <n>         tile count (default 2048)\n\
-           --tiling <balanced|uniform>\n\
+           --tiling <balanced|uniform>             FLOP-balanced vs equal rows\n\
            --schedule <static|dynamic|guided>\n\
            --chunk <n>         claim granularity for dynamic/guided (default 1;\n\
                                guided decays from n toward 1 as the queue drains)\n\
-           --acc <dense|hash><8|16|32|64> | sort   (default hash32)\n\
+         \n\
+         iteration space — §V-B (run/tc/session):\n\
            --iter <vanilla|mask|coiter|hybrid>     (default hybrid)\n\
-           --kappa <f>         co-iteration factor (default 1.0)\n\
+           --kappa <f>         hybrid co-iteration switch factor (default 1.0)\n\
+         \n\
+         accumulator — §V-C (run/tc/session):\n\
+           --acc <dense|hash><8|16|32|64> | sort   family + marker width\n\
+                                                   (default hash32)\n\
+         \n\
+         execution (run/tc/session):\n\
+           --threads <n>       worker threads (default: all cores)\n\
            --assembly <inplace|legacy>             output assembly (default inplace:\n\
                                mask-bounded slots + parallel compaction)\n\
-           --bands <n>         2-D tiling column bands (default 1)\n\
-           --reps <n>          timing repetitions (default 3)\n\
+           --bands <n>         2-D tiling column bands (run only, default 1)\n\
+           --reps <n>          timing repetitions (run only, default 3)\n\
+           --iters <n>         planned executions (session only, default 50)\n\
          \n\
-         observability (run/tc):\n\
+         observability (run/tc/session):\n\
            --metrics <file>    arm counters, write a mspgemm.run/1 JSON report\n\
            --trace <file>      arm spans, write a chrome://tracing JSON file\n\
          \n\
@@ -293,26 +301,26 @@ fn load_graph(flags: &HashMap<String, String>) -> Csr<u64> {
 }
 
 fn parse_config(flags: &HashMap<String, String>) -> Config {
-    let mut cfg = Config::default();
+    let mut b = Config::builder();
     if let Some(t) = flags.get("threads") {
-        cfg.n_threads = t.parse().expect("bad --threads");
+        b = b.n_threads(t.parse().expect("bad --threads"));
     }
     if let Some(t) = flags.get("tiles") {
-        cfg.n_tiles = t.parse().expect("bad --tiles");
+        b = b.n_tiles(t.parse().expect("bad --tiles"));
     }
     if let Some(t) = flags.get("tiling") {
-        cfg.tiling = match t.as_str() {
+        b = b.tiling(match t.as_str() {
             "balanced" => TilingStrategy::FlopBalanced,
             "uniform" => TilingStrategy::Uniform,
             other => {
                 eprintln!("bad --tiling {other:?}");
                 usage();
             }
-        };
+        });
     }
     let chunk: usize = flags.get("chunk").map(|c| c.parse().expect("bad --chunk")).unwrap_or(1);
     if let Some(s) = flags.get("schedule") {
-        cfg.schedule = match s.as_str() {
+        b = b.schedule(match s.as_str() {
             "static" => Schedule::Static,
             "dynamic" => Schedule::Dynamic { chunk },
             "guided" => Schedule::Guided { chunk },
@@ -320,23 +328,23 @@ fn parse_config(flags: &HashMap<String, String>) -> Config {
                 eprintln!("bad --schedule {other:?}");
                 usage();
             }
-        };
+        });
     } else if chunk != 1 {
         // --chunk without --schedule adjusts the default dynamic schedule
-        cfg.schedule = Schedule::Dynamic { chunk };
+        b = b.schedule(Schedule::Dynamic { chunk });
     }
     if let Some(a) = flags.get("assembly") {
-        cfg.assembly = match a.as_str() {
+        b = b.assembly(match a.as_str() {
             "inplace" => Assembly::InPlace,
             "legacy" => Assembly::Legacy,
             other => {
                 eprintln!("bad --assembly {other:?}");
                 usage();
             }
-        };
+        });
     }
     if let Some(a) = flags.get("acc") {
-        cfg.accumulator = match a.as_str() {
+        b = b.accumulator(match a.as_str() {
             "dense8" => AccumulatorKind::Dense(MarkerWidth::W8),
             "dense16" => AccumulatorKind::Dense(MarkerWidth::W16),
             "dense32" => AccumulatorKind::Dense(MarkerWidth::W32),
@@ -350,24 +358,20 @@ fn parse_config(flags: &HashMap<String, String>) -> Config {
                 eprintln!("bad --acc {other:?}");
                 usage();
             }
-        };
+        });
     }
     let kappa: f64 = flags.get("kappa").map(|k| k.parse().expect("bad --kappa")).unwrap_or(1.0);
-    if let Some(it) = flags.get("iter") {
-        cfg.iteration = match it.as_str() {
-            "vanilla" => IterationSpace::Vanilla,
-            "mask" => IterationSpace::MaskAccumulate,
-            "coiter" => IterationSpace::CoIterate,
-            "hybrid" => IterationSpace::Hybrid { kappa },
-            other => {
-                eprintln!("bad --iter {other:?}");
-                usage();
-            }
-        };
-    } else {
-        cfg.iteration = IterationSpace::Hybrid { kappa };
-    }
-    cfg
+    b = b.iteration(match flags.get("iter").map(String::as_str) {
+        None | Some("hybrid") => IterationSpace::Hybrid { kappa },
+        Some("vanilla") => IterationSpace::Vanilla,
+        Some("mask") => IterationSpace::MaskAccumulate,
+        Some("coiter") => IterationSpace::CoIterate,
+        Some(other) => {
+            eprintln!("bad --iter {other:?}");
+            usage();
+        }
+    });
+    b.build()
 }
 
 fn main() -> ExitCode {
@@ -415,8 +419,7 @@ fn main() -> ExitCode {
                         c.nnz()
                     );
                 } else {
-                    let (c, stats) =
-                        or_die(masked_spgemm_with_stats::<PlusPair>(&a, &a, &a, &cfg));
+                    let (c, stats) = or_die(spgemm::<PlusPair>(&a, &a, &a, &cfg));
                     println!(
                         "rep {rep}: {:.2} ms kernel (+{:.2} ms setup), output nnz {}, imbalance {:.2}",
                         stats.elapsed.as_secs_f64() * 1e3,
@@ -438,7 +441,7 @@ fn main() -> ExitCode {
         "tune" => {
             let a = load_graph(&flags);
             let opts = TunerOptions::default();
-            let report = tune::<PlusPair>(&a, &a, &a, &opts);
+            let report = or_die(tune::<PlusPair>(&a, &a, &a, &opts));
             println!("stage 1: {} configs measured", report.stage1.len());
             println!("stage 2: {} κ values measured", report.stage2.len());
             println!("stage 3: {} marker widths measured", report.stage3.len());
@@ -455,9 +458,49 @@ fn main() -> ExitCode {
             for r in &p.reasons {
                 println!("  - {r}");
             }
-            let (_, stats) =
-                or_die(masked_spgemm_with_stats::<PlusPair>(&a, &a, &a, &p.config));
+            let (_, stats) = or_die(spgemm::<PlusPair>(&a, &a, &a, &p.config));
             println!("measured: {:.2} ms", stats.elapsed.as_secs_f64() * 1e3);
+        }
+        "session" => {
+            let a = load_graph(&flags);
+            let cfg = parse_config(&flags);
+            let iters: usize =
+                flags.get("iters").map(|i| i.parse().expect("bad --iters")).unwrap_or(50);
+            arm_observability(&flags);
+            println!("config: {} | {iters} planned executions", cfg.label());
+
+            let mut session = Session::<PlusPair>::new(cfg);
+            // first execution builds the plan and spawns the worker pool
+            let (c, first) = or_die(session.execute(&a, &a, &a));
+            let spawned_before = obs::counter_value(obs::Counter::SchedWorkersSpawned);
+            let t0 = Instant::now();
+            let mut last_stats = first;
+            for _ in 0..iters {
+                let (_, stats) = or_die(session.execute(&a, &a, &a));
+                last_stats = stats;
+            }
+            let loop_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let spawned_after = obs::counter_value(obs::Counter::SchedWorkersSpawned);
+            println!(
+                "output nnz {}, {:.3} ms/execute amortized, {} plan rebuild(s)",
+                c.nnz(),
+                loop_ms / iters as f64,
+                session.rebuilds()
+            );
+            emit_observability(&flags, "session", &cfg, &last_stats, &[
+                ("iters", iters as u64),
+                ("rebuilds", session.rebuilds()),
+                ("workers_spawned", spawned_after),
+            ]);
+            // the executor-reuse invariant: a warm pool never respawns
+            // threads across same-width planned executions. Only checkable
+            // when the counters are armed.
+            if obs::armed() && spawned_after != spawned_before {
+                eprintln!(
+                    "mspgemm: worker pool grew during plan reuse: {spawned_before} -> {spawned_after} threads spawned"
+                );
+                std::process::exit(1);
+            }
         }
         "check-metrics" => {
             let Some(path) = flags.get("file") else {

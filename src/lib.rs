@@ -29,9 +29,9 @@ pub use mspgemm_sparse as sparse;
 pub mod prelude {
     pub use mspgemm_accum::{AccumulatorKind, MarkerWidth};
     pub use mspgemm_core::{
-        masked_spgemm, masked_spgemm_2d, masked_spgemm_csc, masked_spgemm_dot,
-        masked_spgemm_with_stats, predict_config, preset_config, tune, Assembly, Config,
-        IterationSpace, Preset, TunerOptions,
+        masked_spgemm_2d, masked_spgemm_csc, masked_spgemm_dot, predict_config, preset_config,
+        spgemm, tune, Assembly, Config, ConfigBuilder, Executor, IterationSpace, Plan, Preset,
+        RunStats, Session, TunerOptions,
     };
     pub use mspgemm_gen::{er, rmat, road, suite_graph, suite_specs, web, GraphKind};
     pub use mspgemm_graph::{

@@ -10,7 +10,7 @@ use mspgemm_sparse::csr::reduce_values;
 const SCALE: f64 = 0.04;
 
 fn cfg() -> Config {
-    Config { n_threads: 2, ..Config::default() }
+    Config::builder().n_threads(2).build()
 }
 
 #[test]

@@ -11,21 +11,21 @@ use masked_spgemm_repro::prelude::*;
 fn output_independent_of_thread_count() {
     let spec = suite_specs().into_iter().find(|s| s.name == "com-LiveJournal").unwrap();
     let a = suite_graph(&spec, 0.05).spones(1u64);
-    let reference = masked_spgemm::<PlusPair>(
+    let reference = spgemm::<PlusPair>(
         &a,
         &a,
         &a,
-        &Config { n_threads: 1, ..Config::default() },
+        &Config::builder().n_threads(1).build(),
     )
-    .unwrap();
+    .unwrap().0;
     for n_threads in [2, 3, 4, 8] {
-        let got = masked_spgemm::<PlusPair>(
+        let got = spgemm::<PlusPair>(
             &a,
             &a,
             &a,
-            &Config { n_threads, ..Config::default() },
+            &Config::builder().n_threads(n_threads).build(),
         )
-        .unwrap();
+        .unwrap().0;
         assert_eq!(got, reference, "{n_threads} threads");
     }
 }
@@ -35,21 +35,21 @@ fn output_independent_of_schedule_and_chunk() {
     let spec = suite_specs().into_iter().find(|s| s.name == "stokes").unwrap();
     let a = suite_graph(&spec, 0.04).spones(1u64);
     let reference =
-        masked_spgemm::<PlusPair>(&a, &a, &a, &Config { n_threads: 2, ..Config::default() })
-            .unwrap();
+        spgemm::<PlusPair>(&a, &a, &a, &Config::builder().n_threads(2).build())
+            .unwrap().0;
     for schedule in [
         Schedule::Static,
         Schedule::Dynamic { chunk: 1 },
         Schedule::Dynamic { chunk: 4 },
         Schedule::Dynamic { chunk: 64 },
     ] {
-        let got = masked_spgemm::<PlusPair>(
+        let got = spgemm::<PlusPair>(
             &a,
             &a,
             &a,
-            &Config { schedule, n_threads: 2, ..Config::default() },
+            &Config::builder().schedule(schedule).n_threads(2).build(),
         )
-        .unwrap();
+        .unwrap().0;
         assert_eq!(got, reference, "{schedule:?}");
     }
 }
@@ -58,10 +58,10 @@ fn output_independent_of_schedule_and_chunk() {
 fn repeated_runs_are_identical() {
     let spec = suite_specs().into_iter().find(|s| s.name == "europe_osm").unwrap();
     let a = suite_graph(&spec, 0.05).spones(1u64);
-    let cfg = Config { n_threads: 2, ..Config::default() };
-    let first = masked_spgemm::<PlusPair>(&a, &a, &a, &cfg).unwrap();
+    let cfg = Config::builder().n_threads(2).build();
+    let first = spgemm::<PlusPair>(&a, &a, &a, &cfg).unwrap().0;
     for _ in 0..5 {
-        assert_eq!(masked_spgemm::<PlusPair>(&a, &a, &a, &cfg).unwrap(), first);
+        assert_eq!(spgemm::<PlusPair>(&a, &a, &a, &cfg).unwrap().0, first);
     }
 }
 
@@ -78,8 +78,8 @@ fn suite_generation_is_reproducible() {
 fn stats_are_consistent_with_output() {
     let spec = suite_specs().into_iter().find(|s| s.name == "as-Skitter").unwrap();
     let a = suite_graph(&spec, 0.05).spones(1u64);
-    let cfg = Config { n_threads: 2, n_tiles: 64, ..Config::default() };
-    let (c, stats) = masked_spgemm_with_stats::<PlusPair>(&a, &a, &a, &cfg).unwrap();
+    let cfg = Config::builder().n_threads(2).n_tiles(64).build();
+    let (c, stats) = spgemm::<PlusPair>(&a, &a, &a, &cfg).unwrap();
     assert_eq!(stats.output_nnz, c.nnz());
     assert_eq!(stats.n_tiles, 64.min(a.nrows()));
     assert_eq!(

@@ -36,8 +36,8 @@ fn loaded_matrix_runs_the_full_experiment_path() {
     assert!(adj.is_structurally_symmetric());
 
     let want = Dense::masked_matmul::<PlusPair, u64>(&adj, &adj, &adj);
-    let cfg = Config { n_threads: 2, ..Config::default() };
-    let got = masked_spgemm::<PlusPair>(&adj, &adj, &adj, &cfg).unwrap();
+    let cfg = Config::builder().n_threads(2).build();
+    let got = spgemm::<PlusPair>(&adj, &adj, &adj, &cfg).unwrap().0;
     assert_eq!(got, want);
 
     let opts = TunerOptions {
@@ -46,8 +46,8 @@ fn loaded_matrix_runs_the_full_experiment_path() {
         kappas: vec![0.1, 1.0],
         ..TunerOptions::default()
     };
-    let report = tune::<PlusPair>(&adj, &adj, &adj, &opts);
-    let tuned = masked_spgemm::<PlusPair>(&adj, &adj, &adj, &report.best).unwrap();
+    let report = tune::<PlusPair>(&adj, &adj, &adj, &opts).expect("square operands");
+    let tuned = spgemm::<PlusPair>(&adj, &adj, &adj, &report.best).unwrap().0;
     assert_eq!(tuned, want);
 
     std::fs::remove_file(&path).unwrap();
@@ -66,10 +66,10 @@ fn csc_view_is_consistent_with_masked_product() {
     };
     let m = a.select(|i, j, _| (i * 3 + j as usize) % 5 != 0);
 
-    let cfg = Config { n_threads: 2, ..Config::default() };
-    let c = masked_spgemm::<PlusPair>(&a, &b, &m, &cfg).unwrap();
+    let cfg = Config::builder().n_threads(2).build();
+    let c = spgemm::<PlusPair>(&a, &b, &m, &cfg).unwrap().0;
 
-    let ct = masked_spgemm::<PlusPair>(&b.transpose(), &a.transpose(), &m.transpose(), &cfg)
-        .unwrap();
+    let ct = spgemm::<PlusPair>(&b.transpose(), &a.transpose(), &m.transpose(), &cfg)
+        .unwrap().0;
     assert_eq!(c, ct.transpose());
 }

@@ -29,8 +29,8 @@ fn all_iteration_spaces_match_oracle_on_every_class() {
             IterationSpace::CoIterate,
             IterationSpace::Hybrid { kappa: 1.0 },
         ] {
-            let cfg = Config { iteration, n_threads: 2, n_tiles: 32, ..Config::default() };
-            let got = masked_spgemm::<PlusPair>(&a, &a, &a, &cfg).unwrap();
+            let cfg = Config::builder().iteration(iteration).n_threads(2).n_tiles(32).build();
+            let got = spgemm::<PlusPair>(&a, &a, &a, &cfg).unwrap().0;
             assert_eq!(got, want, "{name} / {}", iteration.label());
         }
     }
@@ -41,8 +41,8 @@ fn all_accumulators_match_oracle_on_every_class() {
     for (name, a) in suite_small() {
         let want = oracle(&a);
         for accumulator in AccumulatorKind::all() {
-            let cfg = Config { accumulator, n_threads: 2, n_tiles: 16, ..Config::default() };
-            let got = masked_spgemm::<PlusPair>(&a, &a, &a, &cfg).unwrap();
+            let cfg = Config::builder().accumulator(accumulator).n_threads(2).n_tiles(16).build();
+            let got = spgemm::<PlusPair>(&a, &a, &a, &cfg).unwrap().0;
             assert_eq!(got, want, "{name} / {}", accumulator.label());
         }
     }
@@ -60,14 +60,8 @@ fn all_tiling_schedules_match_oracle() {
         for tiling in TilingStrategy::all() {
             for schedule in Schedule::all() {
                 for n_tiles in [1, 2, 7, 64, 100_000] {
-                    let cfg = Config {
-                        tiling,
-                        schedule,
-                        n_tiles,
-                        n_threads: 2,
-                        ..Config::default()
-                    };
-                    let got = masked_spgemm::<PlusPair>(&a, &a, &a, &cfg).unwrap();
+                    let cfg = Config::builder().tiling(tiling).schedule(schedule).n_tiles(n_tiles).n_threads(2).build();
+                    let got = spgemm::<PlusPair>(&a, &a, &a, &cfg).unwrap().0;
                     assert_eq!(
                         got, want,
                         "{name} / {} / {} / {n_tiles} tiles",
@@ -86,13 +80,8 @@ fn guided_schedule_matches_oracle() {
     let a = suite_graph(&spec, SCALE).spones(1u64);
     let want = oracle(&a);
     for chunk in [1, 8] {
-        let cfg = Config {
-            schedule: Schedule::Guided { chunk },
-            n_threads: 2,
-            n_tiles: 64,
-            ..Config::default()
-        };
-        assert_eq!(masked_spgemm::<PlusPair>(&a, &a, &a, &cfg).unwrap(), want);
+        let cfg = Config::builder().schedule(Schedule::Guided { chunk }).n_threads(2).n_tiles(64).build();
+        assert_eq!(spgemm::<PlusPair>(&a, &a, &a, &cfg).unwrap().0, want);
     }
 }
 
@@ -101,7 +90,7 @@ fn two_dimensional_tiling_matches_oracle() {
     let spec = suite_specs().into_iter().find(|s| s.name == "com-Orkut").unwrap();
     let a = suite_graph(&spec, SCALE).spones(1u64);
     let want = oracle(&a);
-    let cfg = Config { n_threads: 2, n_tiles: 16, ..Config::default() };
+    let cfg = Config::builder().n_threads(2).n_tiles(16).build();
     for bands in [2, 4, 16] {
         let got = masked_spgemm_2d::<PlusPair>(&a, &a, &a, &cfg, bands).unwrap();
         assert_eq!(got, want, "{bands} column bands");
@@ -117,9 +106,9 @@ fn masked_product_commutes_with_symmetric_permutation() {
     let a = suite_graph(&spec, SCALE).spones(1u64);
     let perm = rcm_order(&a);
     let pa = permute_symmetric(&a, &perm);
-    let cfg = Config { n_threads: 2, ..Config::default() };
-    let c = masked_spgemm::<PlusPair>(&a, &a, &a, &cfg).unwrap();
-    let pc = masked_spgemm::<PlusPair>(&pa, &pa, &pa, &cfg).unwrap();
+    let cfg = Config::builder().n_threads(2).build();
+    let c = spgemm::<PlusPair>(&a, &a, &a, &cfg).unwrap().0;
+    let pc = spgemm::<PlusPair>(&pa, &pa, &pa, &cfg).unwrap().0;
     assert_eq!(permute_symmetric(&c, &perm), pc);
 }
 
@@ -127,7 +116,7 @@ fn masked_product_commutes_with_symmetric_permutation() {
 fn dot_product_formulation_matches_saxpy_on_every_class() {
     for (name, a) in suite_small() {
         let want = oracle(&a);
-        let cfg = Config { n_threads: 2, n_tiles: 32, ..Config::default() };
+        let cfg = Config::builder().n_threads(2).n_tiles(32).build();
         let got = masked_spgemm_dot::<PlusPair>(&a, &Csc::from_csr(&a), &a, &cfg).unwrap();
         assert_eq!(got, want, "{name}: dot-product formulation");
     }
@@ -137,7 +126,7 @@ fn dot_product_formulation_matches_saxpy_on_every_class() {
 fn csc_column_driver_matches_on_every_class() {
     for (name, a) in suite_small() {
         let want = oracle(&a);
-        let cfg = Config { n_threads: 2, n_tiles: 16, ..Config::default() };
+        let cfg = Config::builder().n_threads(2).n_tiles(16).build();
         let ac = Csc::from_csr(&a);
         let got = masked_spgemm_csc::<PlusPair>(&ac, &ac, &ac, &cfg).unwrap();
         assert_eq!(got.to_csr(), want, "{name}: CSC column-wise driver");
@@ -148,7 +137,7 @@ fn csc_column_driver_matches_on_every_class() {
 fn model_prediction_is_correct_on_every_class() {
     for (name, a) in suite_small() {
         let pred = predict_config::<PlusPair>(&a, &a, &a, 2);
-        let got = masked_spgemm::<PlusPair>(&a, &a, &a, &pred.config).unwrap();
+        let got = spgemm::<PlusPair>(&a, &a, &a, &pred.config).unwrap().0;
         assert_eq!(got, oracle(&a), "{name}: predicted {}", pred.config.label());
     }
 }
@@ -159,7 +148,7 @@ fn presets_agree_with_each_other() {
         let mut results = Vec::new();
         for preset in Preset::all() {
             let cfg = preset_config::<PlusPair>(preset, &a, &a, &a, 2);
-            results.push(masked_spgemm::<PlusPair>(&a, &a, &a, &cfg).unwrap());
+            results.push(spgemm::<PlusPair>(&a, &a, &a, &cfg).unwrap().0);
         }
         assert_eq!(results[0], results[1], "{name}: ss:gb vs grb");
         assert_eq!(results[1], results[2], "{name}: grb vs tuned");
@@ -172,12 +161,8 @@ fn kappa_extremes_are_still_exact() {
     let a = suite_graph(&spec, SCALE).spones(1u64);
     let want = oracle(&a);
     for kappa in [0.0, 1e-3, 1e3, f64::INFINITY] {
-        let cfg = Config {
-            iteration: IterationSpace::Hybrid { kappa },
-            n_threads: 2,
-            ..Config::default()
-        };
-        let got = masked_spgemm::<PlusPair>(&a, &a, &a, &cfg).unwrap();
+        let cfg = Config::builder().iteration(IterationSpace::Hybrid { kappa }).n_threads(2).build();
+        let got = spgemm::<PlusPair>(&a, &a, &a, &cfg).unwrap().0;
         assert_eq!(got, want, "kappa = {kappa}");
     }
 }
@@ -186,23 +171,23 @@ fn kappa_extremes_are_still_exact() {
 fn works_over_multiple_semirings_end_to_end() {
     let spec = suite_specs().into_iter().find(|s| s.name == "as-Skitter").unwrap();
     let af = suite_graph(&spec, SCALE);
-    let cfg = Config { n_threads: 2, n_tiles: 16, ..Config::default() };
+    let cfg = Config::builder().n_threads(2).n_tiles(16).build();
 
     // plus_times over f64
     let want = Dense::masked_matmul::<PlusTimes, f64>(&af, &af, &af);
-    let got = masked_spgemm::<PlusTimes>(&af, &af, &af, &cfg).unwrap();
+    let got = spgemm::<PlusTimes>(&af, &af, &af, &cfg).unwrap().0;
     assert_eq!(got, want);
 
     // boolean
     let ab = af.spones(true);
     let want = Dense::masked_matmul::<BoolOrAnd, bool>(&ab, &ab, &ab);
-    let got = masked_spgemm::<BoolOrAnd>(&ab, &ab, &ab, &cfg).unwrap();
+    let got = spgemm::<BoolOrAnd>(&ab, &ab, &ab, &cfg).unwrap().0;
     assert_eq!(got, want);
 
     // tropical: masked min-plus relaxation step
     let aw = af.map_values(|v| (v as u64) + 3);
     let want = Dense::masked_matmul::<MinPlus, u64>(&aw, &aw, &aw);
-    let got = masked_spgemm::<MinPlus>(&aw, &aw, &aw, &cfg).unwrap();
+    let got = spgemm::<MinPlus>(&aw, &aw, &aw, &cfg).unwrap().0;
     assert_eq!(got, want);
 }
 
@@ -210,8 +195,8 @@ fn works_over_multiple_semirings_end_to_end() {
 fn symmetric_input_gives_symmetric_masked_square() {
     // A symmetric ⇒ A ⊙ (A×A) symmetric (both the product and the mask are)
     for (name, a) in suite_small() {
-        let cfg = Config { n_threads: 2, ..Config::default() };
-        let c = masked_spgemm::<PlusPair>(&a, &a, &a, &cfg).unwrap();
+        let cfg = Config::builder().n_threads(2).build();
+        let c = spgemm::<PlusPair>(&a, &a, &a, &cfg).unwrap().0;
         assert!(c.is_structurally_symmetric(), "{name}");
         // and value-symmetric: wedge counts are direction-independent
         let ct = c.transpose();

@@ -45,8 +45,8 @@ fn masked_product_matches_oracle() {
     check("masked_product_matches_oracle", CASES, s, |(ta, tb, tm)| {
         let (a, b, m) = (csr(24, 24, &ta), csr(24, 24, &tb), csr(24, 24, &tm));
         let want = Dense::masked_matmul::<PlusTimes, f64>(&a, &b, &m);
-        let cfg = Config { n_threads: 2, n_tiles: 5, ..Config::default() };
-        let got = masked_spgemm::<PlusTimes>(&a, &b, &m, &cfg).unwrap();
+        let cfg = Config::builder().n_threads(2).n_tiles(5).build();
+        let got = spgemm::<PlusTimes>(&a, &b, &m, &cfg).unwrap().0;
         assert_eq!(got, want);
     });
 }
@@ -56,13 +56,13 @@ fn output_is_subset_of_mask() {
     let s = (arb_triples(20, 20, 100), arb_triples(20, 20, 100));
     check("output_is_subset_of_mask", CASES, s, |(ta, tm)| {
         let (a, m) = (csr(20, 20, &ta), csr(20, 20, &tm));
-        let c = masked_spgemm::<PlusTimes>(
+        let c = spgemm::<PlusTimes>(
             &a,
             &a,
             &m,
-            &Config { n_threads: 2, ..Config::default() },
+            &Config::builder().n_threads(2).build(),
         )
-        .unwrap();
+        .unwrap().0;
         for (i, j, _) in c.iter() {
             assert!(m.contains(i, j as usize), "({i},{j}) not in mask");
         }
@@ -74,8 +74,8 @@ fn fused_equals_two_step() {
     let s = (arb_triples(16, 16, 80), arb_triples(16, 16, 80), arb_triples(16, 16, 80));
     check("fused_equals_two_step", CASES, s, |(ta, tb, tm)| {
         let (a, b, m) = (csr(16, 16, &ta), csr(16, 16, &tb), csr(16, 16, &tm));
-        let cfg = Config { n_threads: 2, n_tiles: 3, ..Config::default() };
-        let fused = masked_spgemm::<PlusTimes>(&a, &b, &m, &cfg).unwrap();
+        let cfg = Config::builder().n_threads(2).n_tiles(3).build();
+        let fused = spgemm::<PlusTimes>(&a, &b, &m, &cfg).unwrap().0;
         let two = two_step_masked::<PlusTimes>(&m, &a, &b).unwrap();
         assert_eq!(fused, two);
     });
@@ -86,11 +86,11 @@ fn iteration_spaces_agree_pairwise() {
     let s = (arb_triples(18, 18, 90), arb_triples(18, 18, 90));
     check("iteration_spaces_agree_pairwise", CASES, s, |(ta, tm)| {
         let (a, m) = (csr(18, 18, &ta), csr(18, 18, &tm));
-        let mk = |iteration| Config { iteration, n_threads: 2, n_tiles: 4, ..Config::default() };
+        let mk = |iteration| Config::builder().iteration(iteration).n_threads(2).n_tiles(4).build();
         let base =
-            masked_spgemm::<PlusTimes>(&a, &a, &m, &mk(IterationSpace::MaskAccumulate)).unwrap();
+            spgemm::<PlusTimes>(&a, &a, &m, &mk(IterationSpace::MaskAccumulate)).unwrap().0;
         for it in [IterationSpace::Vanilla, IterationSpace::CoIterate, IterationSpace::Hybrid { kappa: 1.0 }] {
-            let other = masked_spgemm::<PlusTimes>(&a, &a, &m, &mk(it)).unwrap();
+            let other = spgemm::<PlusTimes>(&a, &a, &m, &mk(it)).unwrap().0;
             assert_eq!(other, base, "{} vs mask-accum", it.label());
         }
     });
@@ -101,12 +101,12 @@ fn accumulators_agree_pairwise() {
     let s = (arb_triples(18, 18, 90), arb_triples(18, 18, 90));
     check("accumulators_agree_pairwise", CASES, s, |(ta, tm)| {
         let (a, m) = (csr(18, 18, &ta), csr(18, 18, &tm));
-        let mk = |accumulator| Config { accumulator, n_threads: 2, ..Config::default() };
+        let mk = |accumulator| Config::builder().accumulator(accumulator).n_threads(2).build();
         let base =
-            masked_spgemm::<PlusTimes>(&a, &a, &m, &mk(AccumulatorKind::Dense(MarkerWidth::W64)))
-                .unwrap();
+            spgemm::<PlusTimes>(&a, &a, &m, &mk(AccumulatorKind::Dense(MarkerWidth::W64)))
+                .unwrap().0;
         for acc in AccumulatorKind::all() {
-            let other = masked_spgemm::<PlusTimes>(&a, &a, &m, &mk(acc)).unwrap();
+            let other = spgemm::<PlusTimes>(&a, &a, &m, &mk(acc)).unwrap().0;
             assert_eq!(other, base, "{} vs dense64", acc.label());
         }
     });
@@ -123,13 +123,13 @@ fn boolean_masked_square_is_reachability_intersection() {
             // restricted to stored positions of the mask (= A here)
             let a = csr(15, 15, &ta);
             let ab = a.spones(true);
-            let c = masked_spgemm::<BoolOrAnd>(
+            let c = spgemm::<BoolOrAnd>(
                 &ab,
                 &ab,
                 &ab,
-                &Config { n_threads: 2, ..Config::default() },
+                &Config::builder().n_threads(2).build(),
             )
-            .unwrap();
+            .unwrap().0;
             for (i, j, v) in c.iter() {
                 assert!(v, "stored boolean outputs are true");
                 let (icols, _) = ab.row(i);
