@@ -1,0 +1,231 @@
+//! Service throughput under concurrent tenants — what batching buys.
+//!
+//! A single [`Session`](mspgemm_core::Session) caller pays one full pool
+//! synchronisation per masked product; for frontier-sized products the
+//! sync is a large fraction of the call. The [`Service`] coalesces jobs
+//! from concurrent tenants into one tiled run per dispatch batch
+//! (`WorkerPool::run_tiles_multi`), so the fork/join cost is paid once
+//! per *batch*. This bench measures that directly: the same total number
+//! of identical frontier-mask jobs, pushed through the service by 1, 8
+//! and 64 closed-loop tenants (each keeps exactly one job in flight).
+//!
+//! * `tenants = 1` is the serial-submission baseline: every batch is a
+//!   singleton, so the service adds queue hops but no coalescing.
+//! * `tenants = 8 / 64` let the dispatcher batch up to `batch_max` jobs
+//!   per pool synchronisation; `speedup_vs_serial` is the aggregate
+//!   throughput against the `tenants = 1` row.
+//!
+//! Queue delay percentiles come from each reply's admission-to-dispatch
+//! measurement; `mean_batch` is the mean over replies of how many jobs
+//! shared their run. All rows run the same jobs on the same warm
+//! executor, so the comparison isolates the submission front-end.
+//!
+//! Run: `cargo run --release -p mspgemm-bench --bin service [jobs]`
+//! (`MSPGEMM_SCALE` scales the graph; `jobs` defaults to 960 total).
+
+use mspgemm_bench::{write_csv, BenchGraph, HarnessOptions};
+use mspgemm_core::{predict_config, Config, Executor, Service, ServiceOptions, SubmitOptions};
+use mspgemm_gen::suite_specs;
+use mspgemm_sparse::{Coo, Csr, PlusPair, SparseError};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+const GRAPH: &str = "GAP-road";
+const TENANT_COUNTS: [usize; 3] = [1, 8, 64];
+const FRONTIER_STRIDE: usize = 32;
+/// Row repetitions; the fastest repetition is reported.
+const REPS: usize = 5;
+
+/// Every `stride`-th row of `a` — a frontier query small enough that the
+/// per-call pool synchronisation dominates the numeric phase.
+fn frontier_mask(a: &Csr<u64>, stride: usize) -> Csr<u64> {
+    let mut coo = Coo::new(a.nrows(), a.ncols());
+    for i in (0..a.nrows()).step_by(stride) {
+        let (cols, _) = a.row(i);
+        for &j in cols {
+            coo.push(i, j as usize, 1u64);
+        }
+    }
+    coo.to_csr_with(|v, _| v)
+}
+
+struct Measured {
+    elapsed_ms: f64,
+    delays_us: Vec<u64>,
+    mean_batch: f64,
+}
+
+/// Push `jobs_total` identical jobs through the service with `tenants`
+/// concurrent closed-loop submitters, each keeping at most `window` jobs
+/// in flight. `window = 1` is strictly serial submission (submit, wait,
+/// repeat); `window = 2` pipelines one submission behind the outstanding
+/// one — the natural shape for a service client, and what keeps the
+/// dispatcher from idling while woken tenants resubmit.
+fn run_tenants(
+    service: &Service<PlusPair>,
+    a: &Arc<Csr<u64>>,
+    mask: &Arc<Csr<u64>>,
+    cfg: &Config,
+    tenants: usize,
+    window: usize,
+    jobs_total: usize,
+) -> Measured {
+    let per_tenant = jobs_total / tenants;
+    let delays: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(jobs_total));
+    let batch_sum = Mutex::new(0u64);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for tenant in 0..tenants {
+            let (delays, batch_sum) = (&delays, &batch_sum);
+            scope.spawn(move || {
+                let mut local = Vec::with_capacity(per_tenant);
+                let mut batches = 0u64;
+                let mut in_flight = std::collections::VecDeque::new();
+                let mut settle = |ticket: mspgemm_core::JobTicket<PlusPair>| {
+                    let reply = ticket.wait().expect("service reply");
+                    local.push(reply.queue_delay.as_micros() as u64);
+                    batches += reply.batch_size as u64;
+                };
+                for _ in 0..per_tenant {
+                    let ticket = loop {
+                        match service.submit(
+                            Arc::clone(a),
+                            Arc::clone(a),
+                            Arc::clone(mask),
+                            *cfg,
+                            SubmitOptions { tenant: tenant as u32, ..SubmitOptions::default() },
+                        ) {
+                            Ok(t) => break t,
+                            Err(SparseError::QueueFull { .. }) => std::thread::yield_now(),
+                            Err(e) => panic!("submit failed: {e}"),
+                        }
+                    };
+                    in_flight.push_back(ticket);
+                    if in_flight.len() >= window.max(1) {
+                        settle(in_flight.pop_front().expect("nonempty window"));
+                    }
+                }
+                for ticket in in_flight {
+                    settle(ticket);
+                }
+                delays.lock().expect("delay sink").extend(local);
+                *batch_sum.lock().expect("batch sink") += batches;
+            });
+        }
+    });
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    let mut delays_us = delays.into_inner().expect("delay sink");
+    delays_us.sort_unstable();
+    let jobs = delays_us.len().max(1) as f64;
+    let mean_batch = batch_sum.into_inner().expect("batch sink") as f64 / jobs;
+    Measured { elapsed_ms, delays_us, mean_batch }
+}
+
+/// Nearest-rank percentile over an already-sorted sample.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+fn main() {
+    if std::env::var_os("MSPGEMM_SCALE").is_none() {
+        // This bench *is* the paper's small-product regime: a frontier
+        // query whose numeric phase is ~1us, where the per-call pool
+        // synchronisation dominates and coalescing pays. The harness-wide
+        // 0.3 default would grow the mask until the numeric phase (shared
+        // by both rows) drowns exactly the cost under study. Set through
+        // the environment (still single-threaded here) so the JSON twin's
+        // `env` block records the scale the sweep actually ran at.
+        std::env::set_var("MSPGEMM_SCALE", "0.005");
+    }
+    let opts = HarnessOptions::from_env();
+    let jobs_total: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(960)
+        .max(TENANT_COUNTS[TENANT_COUNTS.len() - 1]); // at least 1 job per tenant
+
+    let spec = suite_specs()
+        .into_iter()
+        .find(|s| s.name == GRAPH)
+        .expect("suite graph");
+    eprintln!("[gen] {} (scale {})", spec.name, opts.scale);
+    let g = BenchGraph::generate(&spec, &opts);
+    let a = Arc::new(g.a.clone());
+    let mask = Arc::new(frontier_mask(&a, FRONTIER_STRIDE));
+
+    let exec = Executor::global();
+    let batch_max: usize = std::env::var("MSPGEMM_BATCH_MAX")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
+    let pipeline_window: usize = std::env::var("MSPGEMM_WINDOW")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let service: Service<PlusPair> = Service::on(
+        exec,
+        ServiceOptions { queue_capacity: 256, batch_max, ..ServiceOptions::default() },
+    );
+    // start from the model's one-pass prediction, then pin the tile
+    // count to the paper's answer for frontier-sized products: don't
+    // tile them. A handful of mask rows is ~1us of numeric work; every
+    // extra tile is a dispatch round-trip that both the serial and the
+    // batched path pay, diluting exactly the fork/join cost this bench
+    // isolates. (`Config::default()`'s 2048-tile target is worse still.)
+    let cfg = predict_config::<PlusPair>(&a, &a, &mask, opts.threads)
+        .config
+        .to_builder()
+        .n_tiles(1)
+        .build();
+    eprintln!("[cfg] {} ({} rows, {} nnz)", cfg.label(), a.nrows(), a.nnz());
+
+    // warm: workers spawned, plan cached, allocator primed
+    let _ = run_tenants(&service, &a, &mask, &cfg, 1, 1, 16);
+
+    println!("Service throughput: {} jobs, mask nnz {}", jobs_total, mask.nnz());
+    println!(
+        "{:>7} {:>8} {:>12} {:>14} {:>10} {:>10} {:>10} {:>10}",
+        "tenants", "jobs", "elapsed ms", "jobs/s", "p50 us", "p99 us", "batch", "speedup"
+    );
+
+    let mut rows = Vec::new();
+    let mut serial_jps = 0.0f64;
+    for &tenants in &TENANT_COUNTS {
+        // serial baseline submits strictly one-at-a-time; concurrent
+        // tenants pipeline a few submissions ahead (MSPGEMM_WINDOW)
+        let window = if tenants == 1 { 1 } else { pipeline_window };
+        // best-of-iters, like every other bench bin: the box is shared,
+        // and a single 100ms row can land on a noisy slice
+        let m = (0..REPS)
+            .map(|_| run_tenants(&service, &a, &mask, &cfg, tenants, window, jobs_total))
+            .min_by(|x, y| x.elapsed_ms.total_cmp(&y.elapsed_ms))
+            .expect("at least one iteration");
+        let jobs = m.delays_us.len();
+        let jps = jobs as f64 / (m.elapsed_ms / 1e3);
+        if tenants == 1 {
+            serial_jps = jps;
+        }
+        let speedup = if serial_jps > 0.0 { jps / serial_jps } else { 0.0 };
+        let (p50, p99) = (percentile(&m.delays_us, 50.0), percentile(&m.delays_us, 99.0));
+        println!(
+            "{:>7} {:>8} {:>12.1} {:>14.0} {:>10} {:>10} {:>10.2} {:>10.2}",
+            tenants, jobs, m.elapsed_ms, jps, p50, p99, m.mean_batch, speedup
+        );
+        rows.push(format!(
+            "{},{},{:.3},{:.1},{},{},{:.3},{:.3}",
+            tenants, jobs, m.elapsed_ms, jps, p50, p99, m.mean_batch, speedup
+        ));
+    }
+
+    let path = write_csv(
+        "service.csv",
+        "tenants,jobs,elapsed_ms,throughput_jps,p50_delay_us,p99_delay_us,mean_batch,speedup_vs_serial",
+        &rows,
+    )
+    .expect("write results/service.csv");
+    println!("\nwrote {}", path.display());
+}

@@ -60,10 +60,11 @@ use mspgemm_accum::{
 };
 use mspgemm_rt::{failpoint, obs};
 use mspgemm_sched::{
-    catch_tile_panic, DisjointSlots, ExecError, PoolError, PoolRunError, Schedule, ThreadReport,
-    Tile,
+    catch_tile_panic, DisjointSlots, ExecError, MultiRun, PoolError, PoolRunError, Schedule,
+    ThreadReport, Tile, TileFailure, WorkerScratch,
 };
 use mspgemm_sparse::{Csr, Idx, Semiring, SparseError};
+use std::any::Any;
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -319,6 +320,553 @@ fn dispatch_metered<S: Semiring, const METER: bool>(
     }
 }
 
+/// One prepared product inside a [`run_plan_batch`] call: a plan core,
+/// its operands and cross-run scratch, plus the fairness weight the
+/// multiplexed tile interleave gives this job.
+pub(crate) struct BatchJob<'r, S: Semiring> {
+    pub(crate) core: &'r PlanCore,
+    pub(crate) a: &'r Csr<S::T>,
+    pub(crate) b: &'r Csr<S::T>,
+    pub(crate) mask: &'r Csr<S::T>,
+    pub(crate) scratch: Option<&'r mut PlanScratch<S>>,
+    /// Tiles this job contributes per round of the interleaved claim
+    /// order (see [`mspgemm_sched::MultiRun::weight`]).
+    pub(crate) weight: u32,
+    /// Symbolic-phase wall time attributed to this job (plan lookup /
+    /// preparation on the submitter side), reported in its `RunStats`.
+    pub(crate) setup: Duration,
+}
+
+/// Per-job slot buffers for the multiplexed phase, adopted from the job's
+/// plan scratch or freshly built.
+struct BatchBufs<S: Semiring> {
+    cols: Vec<Idx>,
+    vals: Vec<S::T>,
+    nnz: Vec<u32>,
+}
+
+/// The shared-buffer views one multiplexed job exposes to its tile body.
+struct JobViews<'b, S: Semiring> {
+    cols: DisjointSlots<'b, Idx>,
+    vals: DisjointSlots<'b, S::T>,
+    nnz: DisjointSlots<'b, u32>,
+    completed: Vec<OnceLock<()>>,
+    duplicate: Mutex<Option<usize>>,
+}
+
+/// Build one job's type-erased tile body for the multiplexed run,
+/// monomorphised on its accumulator. Unlike the single-run path, the
+/// accumulator cannot live in the worker's [`WorkerScratch`] — that cache
+/// has exactly one slot, and workers interleave tiles from *different*
+/// jobs, so parking per-job state there would rebuild it on every job
+/// switch. Each job instead reads a per-worker accumulator cell from its
+/// plan scratch (`PlanScratch::accums`), built lazily on the worker's
+/// first tile of this job and *persisted across runs* of the leased
+/// plan. A cell holding a stale type (different accumulator family, or
+/// the `METER` flag flipped by arming metrics) fails the downcast and is
+/// rebuilt from clean. A mid-tile panic poisons the cell's mutex; the
+/// poisoned lock is treated as "state may be mid-update, rebuild from
+/// clean" — the exact analogue of `WorkerScratch::invalidate`.
+fn batch_body_with<'x, S, A, F>(
+    core: &'x PlanCore,
+    a: &'x Csr<S::T>,
+    b: &'x Csr<S::T>,
+    mask: &'x Csr<S::T>,
+    views: &'x JobViews<'x, S>,
+    accs: &'x [Mutex<Option<Box<dyn Any + Send>>>],
+    make_acc: F,
+) -> Box<dyn Fn(usize, &mut WorkerScratch, usize) + Sync + 'x>
+where
+    S: Semiring,
+    A: Accumulator<S> + Send + 'static,
+    F: Fn() -> A + Sync + 'x,
+{
+    let iteration = core.config.iteration;
+    let tiles = &core.tiles;
+    Box::new(move |t, _ws, tile_idx| {
+        failpoint::maybe_fire(failpoint::TILE_KERNEL, tile_idx as u64);
+        let (Some(sc), Some(sv), Some(rn)) =
+            (views.cols.take(tile_idx), views.vals.take(tile_idx), views.nnz.take(tile_idx))
+        else {
+            let mut guard = views.duplicate.lock().unwrap_or_else(|e| e.into_inner());
+            guard.get_or_insert(tile_idx);
+            return;
+        };
+        let cell_mutex = &accs[t % accs.len()];
+        let mut cell = match cell_mutex.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                // a sibling tile of this job panicked while updating this
+                // worker's accumulator: rebuild from clean
+                cell_mutex.clear_poison();
+                let mut guard = poisoned.into_inner();
+                *guard = None;
+                guard
+            }
+        };
+        if !cell.as_ref().is_some_and(|boxed| boxed.as_ref().is::<A>()) {
+            // drop the stale value first so peak memory is one scratch
+            *cell = None;
+            *cell = Some(Box::new(make_acc()));
+        }
+        let Some(acc) = cell.as_deref_mut().and_then(|boxed| boxed.downcast_mut::<A>()) else {
+            // unreachable: the branch above just installed an `A`. Bailing
+            // leaves the tile uncompleted, which the settle phase repairs
+            // through the degraded serial retry.
+            return;
+        };
+        let mut hstats = HybridStats::armed();
+        let (nlo, nhi) = core.nonempty_ranges[tile_idx];
+        compute_tile_slots_sparse::<S, A>(
+            tiles[tile_idx],
+            &core.nonempty[nlo..nhi],
+            core.slot_ranges[tile_idx].0,
+            iteration,
+            a,
+            b,
+            mask,
+            acc,
+            &mut hstats,
+            sc,
+            sv,
+            rn,
+        );
+        let _ = views.completed[tile_idx].set(());
+    })
+}
+
+/// Dispatch [`batch_body_with`] on the job's accumulator family × marker
+/// width × metering flag — the batch-path mirror of [`dispatch_metered`].
+fn batch_body<'x, S: Semiring, const METER: bool>(
+    core: &'x PlanCore,
+    a: &'x Csr<S::T>,
+    b: &'x Csr<S::T>,
+    mask: &'x Csr<S::T>,
+    views: &'x JobViews<'x, S>,
+    accs: &'x [Mutex<Option<Box<dyn Any + Send>>>],
+) -> Box<dyn Fn(usize, &mut WorkerScratch, usize) + Sync + 'x> {
+    let ncols = b.ncols();
+    let cap = core.max_row_entries;
+    match core.config.accumulator {
+        AccumulatorKind::Dense(w) => match w {
+            MarkerWidth::W8 => batch_body_with::<S, _, _>(core, a, b, mask, views, accs, move || {
+                DenseAccumulator::<S, u8, METER>::new(ncols)
+            }),
+            MarkerWidth::W16 => batch_body_with::<S, _, _>(core, a, b, mask, views, accs, move || {
+                DenseAccumulator::<S, u16, METER>::new(ncols)
+            }),
+            MarkerWidth::W32 => batch_body_with::<S, _, _>(core, a, b, mask, views, accs, move || {
+                DenseAccumulator::<S, u32, METER>::new(ncols)
+            }),
+            MarkerWidth::W64 => batch_body_with::<S, _, _>(core, a, b, mask, views, accs, move || {
+                DenseAccumulator::<S, u64, METER>::new(ncols)
+            }),
+        },
+        AccumulatorKind::Hash(w) => match w {
+            MarkerWidth::W8 => batch_body_with::<S, _, _>(core, a, b, mask, views, accs, move || {
+                HashAccumulator::<S, u8, METER>::with_row_capacity(cap)
+            }),
+            MarkerWidth::W16 => batch_body_with::<S, _, _>(core, a, b, mask, views, accs, move || {
+                HashAccumulator::<S, u16, METER>::with_row_capacity(cap)
+            }),
+            MarkerWidth::W32 => batch_body_with::<S, _, _>(core, a, b, mask, views, accs, move || {
+                HashAccumulator::<S, u32, METER>::with_row_capacity(cap)
+            }),
+            MarkerWidth::W64 => batch_body_with::<S, _, _>(core, a, b, mask, views, accs, move || {
+                HashAccumulator::<S, u64, METER>::with_row_capacity(cap)
+            }),
+        },
+        AccumulatorKind::Sort => batch_body_with::<S, _, _>(core, a, b, mask, views, accs, move || {
+            SortAccumulator::<S>::new(cap)
+        }),
+    }
+}
+
+/// Finish one multiplexed job after the parallel phase: degraded serial
+/// retry for lost tiles, row-pointer prefix sum, stitch-failpoint replay,
+/// compaction (or zero-copy adoption when there is no slack), and scratch
+/// hand-back — step for step the tail of [`run_inplace`]. Compaction is
+/// always serial here: the batch path exists for many *small* products,
+/// and nesting pool runs per job inside a settled batch would serialize
+/// against the very synchronisation the batch amortised away.
+#[allow(clippy::too_many_arguments)]
+fn settle_batch_job<S: Semiring>(
+    core: &PlanCore,
+    a: &Csr<S::T>,
+    b: &Csr<S::T>,
+    mask: &Csr<S::T>,
+    mut slot_cols: Vec<Idx>,
+    mut slot_vals: Vec<S::T>,
+    mut row_nnz: Vec<u32>,
+    completed: &[OnceLock<()>],
+    duplicate: Option<usize>,
+    parallel_failures: &[TileFailure],
+    scratch: Option<&mut PlanScratch<S>>,
+) -> Result<(Csr<S::T>, RetryStats), SparseError> {
+    if let Some(tile_idx) = duplicate {
+        return Err(SparseError::Internal { detail: format!("tile {tile_idx} executed twice") });
+    }
+    let nrows = a.nrows();
+    let ncols = b.ncols();
+    let tiles = &core.tiles;
+
+    let mut payloads: HashMap<usize, String> = HashMap::new();
+    for f in parallel_failures {
+        payloads.entry(f.tile).or_insert_with(|| f.payload.clone());
+    }
+    let missing: Vec<usize> =
+        (0..tiles.len()).filter(|&i| completed[i].get().is_none()).collect();
+    let mut retry = RetryStats { failed: missing.len(), ..RetryStats::default() };
+    let retry_start = (retry.failed > 0).then(Instant::now);
+    for tile_idx in missing {
+        let tile = tiles[tile_idx];
+        let (slo, shi) = core.slot_ranges[tile_idx];
+        let attempt = catch_tile_panic(|| {
+            let mut acc = DenseAccumulator::<S, u64>::new(ncols);
+            let mut hstats = HybridStats::armed();
+            compute_tile_slots::<S, _>(
+                tile,
+                IterationSpace::Vanilla,
+                a,
+                b,
+                mask,
+                &mut acc,
+                &mut hstats,
+                &mut slot_cols[slo..shi],
+                &mut slot_vals[slo..shi],
+                &mut row_nnz[tile.lo..tile.hi],
+            );
+        });
+        match attempt {
+            Ok(()) => {
+                retry.recovered += 1;
+                obs::incr(obs::Counter::DriverRetriedTiles);
+            }
+            Err(retry_msg) => {
+                let first = payloads
+                    .remove(&tile_idx)
+                    .unwrap_or_else(|| "tile output missing".to_string());
+                return Err(SparseError::TileFailed {
+                    tile: tile_idx,
+                    rows: (tile.lo, tile.hi),
+                    detail: format!("parallel: {first}; degraded retry: {retry_msg}"),
+                });
+            }
+        }
+    }
+    if let Some(s) = retry_start {
+        retry.elapsed = s.elapsed();
+    }
+
+    let (row_ptr, output_nnz) = build_row_ptr(nrows, &core.nonempty, &row_nnz);
+
+    if let Err(msg) = catch_tile_panic(|| {
+        for idx in 0..tiles.len() {
+            failpoint::maybe_fire(failpoint::FRAGMENT_STITCH, idx as u64);
+        }
+    }) {
+        return Err(SparseError::Internal { detail: format!("stitch: {msg}") });
+    }
+    obs::add(obs::Counter::DriverSlackNnz, (mask.nnz() - output_nnz) as u64);
+
+    if output_nnz == core.bound {
+        // no slack: the slot buffers are the output (see `run_inplace`)
+        if let Some(s) = scratch {
+            s.row_nnz = row_nnz;
+            return Ok((
+                Csr::from_parts_unchecked(nrows, ncols, row_ptr, slot_cols, slot_vals),
+                retry,
+            ));
+        }
+        return Ok((
+            Csr::from_parts_unchecked(nrows, ncols, row_ptr, slot_cols, slot_vals),
+            retry,
+        ));
+    }
+
+    let mut out_cols = vec![0 as Idx; output_nnz];
+    let mut out_vals = vec![S::zero(); output_nnz];
+    let res = catch_tile_panic(|| {
+        for (idx, t) in tiles.iter().enumerate() {
+            let (dlo, dhi) = (row_ptr[t.lo], row_ptr[t.hi]);
+            let (nlo, nhi) = core.nonempty_ranges[idx];
+            let bytes = copy_tile_rows::<S>(
+                *t,
+                &core.nonempty[nlo..nhi],
+                &row_ptr,
+                &slot_cols,
+                &slot_vals,
+                &mut out_cols[dlo..dhi],
+                &mut out_vals[dlo..dhi],
+            );
+            obs::add(obs::Counter::DriverCompactionBytes, bytes);
+        }
+    });
+    if let Err(msg) = res {
+        return Err(SparseError::Internal { detail: format!("stitch: {msg}") });
+    }
+    if let Some(s) = scratch {
+        s.slot_cols = slot_cols;
+        s.slot_vals = slot_vals;
+        s.row_nnz = row_nnz;
+    }
+    Ok((Csr::from_parts_unchecked(nrows, ncols, row_ptr, out_cols, out_vals), retry))
+}
+
+/// Execute a *batch* of prepared products in one run-lock window, with
+/// every in-place job's tiles multiplexed onto a single pool
+/// synchronisation ([`mspgemm_sched::WorkerPool::run_tiles_multi`]) —
+/// the coalescing path the concurrent service uses for many small masked
+/// products. Legacy-assembly jobs (and a lone in-place job) run
+/// sequentially inside the same window instead; results come back in
+/// submission order, each job settling from its own failure accounting so
+/// one tenant's tile panics never fail a sibling's product.
+///
+/// Per-job `RunStats` caveats, by construction of the shared run:
+/// `thread_reports` are the whole batch's (workers interleave jobs, so
+/// busy time is not attributable per job), `elapsed` is the shared
+/// parallel window plus the job's own serial settling, and `metrics` is
+/// `None` (process-global counter deltas cannot be split across
+/// multiplexed jobs).
+pub(crate) fn run_plan_batch<S: Semiring>(
+    exec: &ExecutorShared,
+    mut jobs: Vec<BatchJob<'_, S>>,
+) -> Vec<Result<(Csr<S::T>, RunStats), SparseError>> {
+    let _run = exec.run_lock.lock().unwrap_or_else(|e| e.into_inner());
+    let n = jobs.len();
+    let mut results: Vec<Option<Result<(Csr<S::T>, RunStats), SparseError>>> =
+        (0..n).map(|_| None).collect();
+
+    let multi: Vec<usize> = {
+        let inplace: Vec<usize> = (0..n)
+            .filter(|&j| matches!(jobs[j].core.config.assembly, Assembly::InPlace))
+            .collect();
+        // a single in-place job gains nothing from the interleave and
+        // would lose the worker-persistent accumulator; run it alone
+        if inplace.len() >= 2 { inplace } else { Vec::new() }
+    };
+
+    // --- sequential jobs: legacy assembly, or a batch too small to
+    // multiplex. Same lock window, classic single-run path. ---
+    for j in 0..n {
+        if multi.contains(&j) {
+            continue;
+        }
+        obs::incr(obs::Counter::DriverRuns);
+        let jstart = Instant::now();
+        let job = &mut jobs[j];
+        let outcome = dispatch_accumulator::<S>(
+            exec,
+            job.core,
+            job.scratch.as_deref_mut(),
+            job.a,
+            job.b,
+            job.mask,
+        );
+        results[j] = Some(match outcome {
+            Ok((c, reports, retry)) => {
+                obs::add(obs::Counter::DriverSlackNnz, (job.mask.nnz() - c.nnz()) as u64);
+                let elapsed = jstart.elapsed().saturating_sub(retry.elapsed);
+                let output_nnz = c.nnz();
+                Ok((
+                    c,
+                    RunStats {
+                        elapsed,
+                        setup: job.setup,
+                        retry_elapsed: retry.elapsed,
+                        thread_reports: reports,
+                        estimated_work: job.core.estimated_work,
+                        output_nnz,
+                        n_tiles: job.core.tiles.len(),
+                        n_threads: job.core.n_threads,
+                        retried_tiles: retry.recovered,
+                        failed_tiles: retry.failed,
+                        metrics: None,
+                    },
+                ))
+            }
+            Err(e) => Err(e),
+        });
+    }
+
+    if !multi.is_empty() {
+        // --- multiplexed in-place jobs: one pool synchronisation ---
+        let n_threads = multi.iter().map(|&j| jobs[j].core.n_threads).max().unwrap_or(1);
+        let mut bufs: Vec<BatchBufs<S>> = Vec::with_capacity(multi.len());
+        // per-job per-worker accumulator cells, leased from the plan
+        // scratch so a cached plan re-executes without rebuilding them
+        // (handed back below, mirroring the slot buffers)
+        let mut acc_grids: Vec<Vec<Mutex<Option<Box<dyn Any + Send>>>>> =
+            Vec::with_capacity(multi.len());
+        for &j in &multi {
+            obs::incr(obs::Counter::DriverRuns);
+            let job = &mut jobs[j];
+            let (mut cols, mut vals, mut nnz, mut grid) = match job.scratch.as_deref_mut() {
+                Some(s) => (
+                    std::mem::take(&mut s.slot_cols),
+                    std::mem::take(&mut s.slot_vals),
+                    std::mem::take(&mut s.row_nnz),
+                    std::mem::take(&mut s.accums),
+                ),
+                None => (Vec::new(), Vec::new(), Vec::new(), Vec::new()),
+            };
+            cols.resize(job.core.bound, 0 as Idx);
+            vals.resize(job.core.bound, S::zero());
+            nnz.resize(job.a.nrows(), 0u32);
+            if grid.len() < n_threads.max(1) {
+                grid.resize_with(n_threads.max(1), || Mutex::new(None));
+            }
+            bufs.push(BatchBufs { cols, vals, nnz });
+            acc_grids.push(grid);
+        }
+
+        let par_start = Instant::now();
+        let mut slot_err: Option<SparseError> = None;
+        let mut run_outcome = None;
+        let accounting: Vec<(Vec<OnceLock<()>>, Option<usize>)>;
+        {
+            let mut views: Vec<JobViews<'_, S>> = Vec::with_capacity(multi.len());
+            for (buf, &j) in bufs.iter_mut().zip(&multi) {
+                let core = jobs[j].core;
+                let BatchBufs { cols, vals, nnz } = buf;
+                let (cols, vals, nnz) = match (
+                    DisjointSlots::new(cols, &core.slot_ranges),
+                    DisjointSlots::new(vals, &core.slot_ranges),
+                    DisjointSlots::new(nnz, &core.row_ranges),
+                ) {
+                    (Ok(c), Ok(v), Ok(r)) => (c, v, r),
+                    (Err(detail), _, _) | (_, Err(detail), _) | (_, _, Err(detail)) => {
+                        slot_err = Some(SparseError::Internal { detail });
+                        break;
+                    }
+                };
+                views.push(JobViews {
+                    cols,
+                    vals,
+                    nnz,
+                    completed: (0..core.tiles.len()).map(|_| OnceLock::new()).collect(),
+                    duplicate: Mutex::new(None),
+                });
+            }
+            if slot_err.is_none() {
+                let metered = obs::armed();
+                let bodies: Vec<Box<dyn Fn(usize, &mut WorkerScratch, usize) + Sync + '_>> =
+                    views
+                        .iter()
+                        .zip(&multi)
+                        .zip(&acc_grids)
+                        .map(|((view, &j), accs)| {
+                            let job = &jobs[j];
+                            if metered {
+                                batch_body::<S, true>(
+                                    job.core, job.a, job.b, job.mask, view, accs,
+                                )
+                            } else {
+                                batch_body::<S, false>(
+                                    job.core, job.a, job.b, job.mask, view, accs,
+                                )
+                            }
+                        })
+                        .collect();
+                let runs: Vec<MultiRun<'_>> = bodies
+                    .iter()
+                    .zip(&multi)
+                    .map(|(body, &j)| MultiRun {
+                        n_tiles: jobs[j].core.tiles.len(),
+                        weight: jobs[j].weight,
+                        body: body.as_ref(),
+                    })
+                    .collect();
+                run_outcome = Some(exec.pool.run_tiles_multi(n_threads, &runs));
+            }
+            accounting = views
+                .into_iter()
+                .map(|v| {
+                    let dup = v.duplicate.into_inner().unwrap_or_else(|e| e.into_inner());
+                    (v.completed, dup)
+                })
+                .collect();
+        }
+        let par_elapsed = par_start.elapsed();
+
+        match run_outcome {
+            None => {
+                let e = slot_err.unwrap_or_else(|| SparseError::Internal {
+                    detail: "batch slot layout failed".to_string(),
+                });
+                for &j in &multi {
+                    results[j] = Some(Err(e.clone()));
+                }
+            }
+            Some(Err(pool)) => {
+                let e = pool_error(pool);
+                for &j in &multi {
+                    results[j] = Some(Err(e.clone()));
+                }
+            }
+            Some(Ok(out)) => {
+                for (((bi, &j), buf), (completed, dup)) in
+                    multi.iter().enumerate().zip(bufs).zip(accounting)
+                {
+                    let sstart = Instant::now();
+                    let job = &mut jobs[j];
+                    let settled = settle_batch_job::<S>(
+                        job.core,
+                        job.a,
+                        job.b,
+                        job.mask,
+                        buf.cols,
+                        buf.vals,
+                        buf.nnz,
+                        &completed,
+                        dup,
+                        &out.failures[bi],
+                        job.scratch.as_deref_mut(),
+                    );
+                    results[j] = Some(settled.map(|(c, retry)| {
+                        let output_nnz = c.nnz();
+                        (
+                            c,
+                            RunStats {
+                                elapsed: (par_elapsed + sstart.elapsed())
+                                    .saturating_sub(retry.elapsed),
+                                setup: job.setup,
+                                retry_elapsed: retry.elapsed,
+                                thread_reports: out.reports.clone(),
+                                estimated_work: job.core.estimated_work,
+                                output_nnz,
+                                n_tiles: job.core.tiles.len(),
+                                n_threads,
+                                retried_tiles: retry.recovered,
+                                failed_tiles: retry.failed,
+                                metrics: None,
+                            },
+                        )
+                    }));
+                }
+            }
+        }
+
+        // hand the accumulator cells back to each job's plan scratch so
+        // the next run of a leased plan starts warm (every outcome path:
+        // a failed batch must not cost the cached plan its accumulators)
+        for (grid, &j) in acc_grids.into_iter().zip(&multi) {
+            if let Some(s) = jobs[j].scratch.as_deref_mut() {
+                s.accums = grid;
+            }
+        }
+    }
+
+    results
+        .into_iter()
+        .map(|r| {
+            r.unwrap_or_else(|| {
+                Err(SparseError::Internal { detail: "batch job never settled".to_string() })
+            })
+        })
+        .collect()
+}
+
 /// Dispatch one output row through the configured kernel into `out`,
 /// replaying the hybrid kernel's Eq. 3 decisions when metrics are armed.
 /// Shared by both assembly paths — the kernels see the sink abstractly,
@@ -449,6 +997,53 @@ fn compute_tile_slots<S, A>(
     obs::add(obs::Counter::DriverTileOutputNnz, tile_nnz);
 }
 
+/// [`compute_tile_slots`] for a *plan-driven* run: visit only the tile's
+/// nonempty mask rows (the plan's precomputed `(row, slot offset)` list)
+/// instead of scanning every row. An empty mask row admits no output and
+/// owns no slots, so the only thing the full scan did for it was write
+/// `row_nnz = 0` — which plan-owned buffers already hold: fresh buffers
+/// are zero-filled, reused ones belong to a plan whose fingerprint pins
+/// the mask's row pointers, so a row empty now was empty (and zero) on
+/// every earlier run. The degraded serial retry still uses the full scan,
+/// rewriting every row of a failed tile from clean.
+#[allow(clippy::too_many_arguments)]
+fn compute_tile_slots_sparse<S, A>(
+    tile: Tile,
+    nonempty: &[(Idx, usize)],
+    slot_lo: usize,
+    iteration: IterationSpace,
+    a: &Csr<S::T>,
+    b: &Csr<S::T>,
+    mask: &Csr<S::T>,
+    acc: &mut A,
+    hstats: &mut HybridStats,
+    slot_cols: &mut [Idx],
+    slot_vals: &mut [S::T],
+    row_nnz: &mut [u32],
+) where
+    S: Semiring,
+    A: Accumulator<S>,
+{
+    let mut tile_nnz = 0u64;
+    for &(i, src) in nonempty {
+        let i = i as usize;
+        let (mask_cols, _) = mask.row(i);
+        let w = mask_cols.len();
+        let base = src - slot_lo;
+        let mut sink = SlotSink::new(
+            &mut slot_cols[base..base + w],
+            &mut slot_vals[base..base + w],
+        );
+        run_row::<S, A, _>(i, iteration, a, b, mask_cols, acc, hstats, &mut sink);
+        let n = sink.written();
+        row_nnz[i - tile.lo] = n as u32;
+        tile_nnz += n as u64;
+    }
+    acc.flush_metrics();
+    hstats.flush();
+    obs::add(obs::Counter::DriverTileOutputNnz, tile_nnz);
+}
+
 /// Minimum compacted-output volume, in bytes, before the slack-squeeze
 /// pass is scheduled on the pool instead of running serially. Small
 /// outputs aren't worth a fork/join (and keeping unit-test-sized runs
@@ -468,11 +1063,12 @@ fn compact_par_min() -> usize {
 /// output window `[row_ptr[tile.lo], row_ptr[tile.hi])`, returning the
 /// bytes moved. Pure per-tile function, safe to run from any worker: the
 /// sources are disjoint reads and the destination window is exclusive.
-#[allow(clippy::too_many_arguments)]
+/// `nonempty` is the tile's slice of the plan's nonempty-mask-row list —
+/// rows outside it own no slots and hold no output, so only the rows the
+/// mask asks about are visited (the frontier-mask settle cost).
 fn copy_tile_rows<S: Semiring>(
     tile: Tile,
-    mask: &Csr<S::T>,
-    slot_lo: usize,
+    nonempty: &[(Idx, usize)],
     row_ptr: &[usize],
     slot_cols: &[Idx],
     slot_vals: &[S::T],
@@ -480,16 +1076,43 @@ fn copy_tile_rows<S: Semiring>(
     dest_vals: &mut [S::T],
 ) -> u64 {
     let dest_base = row_ptr[tile.lo];
-    let mut src = slot_lo;
-    for i in tile.rows() {
+    for &(i, src) in nonempty {
+        let i = i as usize;
         let n = row_ptr[i + 1] - row_ptr[i];
         let d = row_ptr[i] - dest_base;
         dest_cols[d..d + n].copy_from_slice(&slot_cols[src..src + n]);
         dest_vals[d..d + n].copy_from_slice(&slot_vals[src..src + n]);
-        src += mask.row_nnz(i);
     }
     let entry = std::mem::size_of::<Idx>() + std::mem::size_of::<S::T>();
     ((row_ptr[tile.hi] - dest_base) * entry) as u64
+}
+
+/// Build the output row pointer from the per-row nnz counts, visiting
+/// only the plan's nonempty mask rows — an empty mask row admits no
+/// output, so its count is structurally zero and the prefix between two
+/// nonempty rows is a constant run (written with `fill`, not walked).
+/// Returns `(row_ptr, output_nnz)`.
+fn build_row_ptr(
+    nrows: usize,
+    nonempty: &[(Idx, usize)],
+    row_nnz: &[u32],
+) -> (Vec<usize>, usize) {
+    let mut row_ptr = vec![0usize; nrows + 1];
+    let mut acc = 0usize;
+    let mut filled = 1usize; // row_ptr[..filled] is final
+    for &(i, _) in nonempty {
+        let i = i as usize;
+        if acc != 0 && filled <= i {
+            row_ptr[filled..=i].fill(acc);
+        }
+        acc += row_nnz[i] as usize;
+        row_ptr[i + 1] = acc;
+        filled = i + 2;
+    }
+    if acc != 0 && filled <= nrows {
+        row_ptr[filled..].fill(acc);
+    }
+    (row_ptr, acc)
 }
 
 /// The monomorphic parallel run, dispatched on the assembly strategy.
@@ -565,11 +1188,11 @@ where
     let duplicate: Mutex<Option<usize>> = Mutex::new(None);
 
     let outcome = {
-        let col_slots = DisjointSlots::new(&mut slot_cols, core.slot_ranges.clone())
+        let col_slots = DisjointSlots::new(&mut slot_cols, &core.slot_ranges)
             .map_err(|detail| SparseError::Internal { detail })?;
-        let val_slots = DisjointSlots::new(&mut slot_vals, core.slot_ranges.clone())
+        let val_slots = DisjointSlots::new(&mut slot_vals, &core.slot_ranges)
             .map_err(|detail| SparseError::Internal { detail })?;
-        let nnz_slots = DisjointSlots::new(&mut row_nnz, core.row_ranges.clone())
+        let nnz_slots = DisjointSlots::new(&mut row_nnz, &core.row_ranges)
             .map_err(|detail| SparseError::Internal { detail })?;
         exec.pool.run_tiles(n_threads, tiles.len(), schedule, |_t, ws, tile_idx| {
             failpoint::maybe_fire(failpoint::TILE_KERNEL, tile_idx as u64);
@@ -587,8 +1210,11 @@ where
             // reused plan — every run of the plan
             let acc = ws.get_or_build::<A, _>(plan_key, || make_acc());
             let mut hstats = HybridStats::armed();
-            compute_tile_slots::<S, A>(
+            let (nlo, nhi) = core.nonempty_ranges[tile_idx];
+            compute_tile_slots_sparse::<S, A>(
                 tiles[tile_idx],
+                &core.nonempty[nlo..nhi],
+                core.slot_ranges[tile_idx].0,
                 iteration,
                 a,
                 b,
@@ -672,14 +1298,7 @@ where
     }
 
     // --- compaction: squeeze the per-row slack, build the final row_ptr ---
-    let mut row_ptr = Vec::with_capacity(nrows + 1);
-    row_ptr.push(0usize);
-    let mut acc_nnz = 0usize;
-    for &rn in &row_nnz {
-        acc_nnz += rn as usize;
-        row_ptr.push(acc_nnz);
-    }
-    let output_nnz = acc_nnz;
+    let (row_ptr, output_nnz) = build_row_ptr(nrows, &core.nonempty, &row_nnz);
 
     // keep the legacy `fragment-stitch` fault-injection surface: the same
     // per-tile site fires here even though in-place assembly has no stitch
@@ -721,9 +1340,9 @@ where
             tiles.iter().map(|t| (row_ptr[t.lo], row_ptr[t.hi])).collect();
         let copied: Vec<OnceLock<()>> = (0..tiles.len()).map(|_| OnceLock::new()).collect();
         {
-            let dc = DisjointSlots::new(&mut out_cols, dest_ranges.clone())
+            let dc = DisjointSlots::new(&mut out_cols, &dest_ranges)
                 .map_err(|detail| SparseError::Internal { detail })?;
-            let dv = DisjointSlots::new(&mut out_vals, dest_ranges)
+            let dv = DisjointSlots::new(&mut out_vals, &dest_ranges)
                 .map_err(|detail| SparseError::Internal { detail })?;
             // a lost tile here falls through to the serial redo below; a
             // pool failure leaves `copied` empty and does the same
@@ -735,10 +1354,10 @@ where
                     let (Some(c), Some(v)) = (dc.take(tile_idx), dv.take(tile_idx)) else {
                         return;
                     };
+                    let (nlo, nhi) = core.nonempty_ranges[tile_idx];
                     let bytes = copy_tile_rows::<S>(
                         tiles[tile_idx],
-                        mask,
-                        core.slot_ranges[tile_idx].0,
+                        &core.nonempty[nlo..nhi],
                         &row_ptr,
                         &slot_cols,
                         &slot_vals,
@@ -759,10 +1378,10 @@ where
         let res = catch_tile_panic(|| {
             for (idx, t) in tiles.iter().enumerate() {
                 let (dlo, dhi) = (row_ptr[t.lo], row_ptr[t.hi]);
+                let (nlo, nhi) = core.nonempty_ranges[idx];
                 let bytes = copy_tile_rows::<S>(
                     *t,
-                    mask,
-                    core.slot_ranges[idx].0,
+                    &core.nonempty[nlo..nhi],
                     &row_ptr,
                     &slot_cols,
                     &slot_vals,

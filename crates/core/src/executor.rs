@@ -127,6 +127,12 @@ impl Executor {
         run_plan::<S>(&self.shared, &core, None, a, b, mask, setup)
     }
 
+    /// The shared pool/lock state, for in-crate layers (the service
+    /// dispatcher) that drive the driver entry points directly.
+    pub(crate) fn shared(&self) -> &Arc<ExecutorShared> {
+        &self.shared
+    }
+
     /// Worker threads spawned over the pool's lifetime. Stays flat across
     /// same-width runs — the invariant the CI executor-reuse smoke step
     /// checks (also visible as the `sched.workers_spawned` counter when

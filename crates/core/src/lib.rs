@@ -71,6 +71,8 @@ pub mod kernels;
 pub mod model;
 pub mod plan;
 pub mod presets;
+pub mod service;
+pub mod stress;
 pub mod tuner;
 
 pub use config::{Assembly, Config, ConfigBuilder, IterationSpace};
@@ -83,4 +85,6 @@ pub use executor::{Executor, Session};
 pub use model::predict_config;
 pub use plan::Plan;
 pub use presets::{preset_config, Preset};
+pub use service::{JobTicket, Service, ServiceOptions, ServiceReply, SubmitOptions};
+pub use stress::{run_stress, StressCase, StressReport, StressSpec};
 pub use tuner::{tune, TuneReport, TunerOptions};

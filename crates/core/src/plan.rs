@@ -80,6 +80,15 @@ pub(crate) struct PlanCore {
     pub(crate) estimated_work: u64,
     /// Accumulator sizing bound (see the driver's prologue docs).
     pub(crate) max_row_entries: usize,
+    /// Rows with at least one mask entry, as `(row, slot offset)` pairs —
+    /// the offset is absolute into the mask-bound slot buffers (the slot
+    /// layout is a prefix sum over mask row lengths, so it is a plan-time
+    /// constant). The settle paths iterate these instead of every row:
+    /// frontier-style masks leave most rows empty, and an empty mask row
+    /// can neither hold output nor own slots.
+    pub(crate) nonempty: Vec<(Idx, usize)>,
+    /// Per-tile `[lo, hi)` ranges into `nonempty` (parallel to `tiles`).
+    pub(crate) nonempty_ranges: Vec<(usize, usize)>,
     /// `(C.nrows, A.ncols = B.nrows, C.ncols)` the plan was built for.
     pub(crate) shape: (usize, usize, usize),
     /// Unique identity; keys the workers' cross-run accumulator scratch.
@@ -137,18 +146,26 @@ pub(crate) fn prepare<T: Copy + Sync>(
         // in order, so one running prefix sum covers them all.
         let mut slot_ranges = Vec::with_capacity(tiles.len());
         let mut row_ranges = Vec::with_capacity(tiles.len());
+        let mut nonempty = Vec::new();
+        let mut nonempty_ranges = Vec::with_capacity(tiles.len());
         let mut bound = 0usize;
         for t in &tiles {
             let lo = bound;
+            let ne_lo = nonempty.len();
             for i in t.rows() {
-                bound += mask.row_nnz(i);
+                let rn = mask.row_nnz(i);
+                if rn > 0 {
+                    nonempty.push((i as Idx, bound));
+                }
+                bound += rn;
             }
             slot_ranges.push((lo, bound));
             row_ranges.push((t.lo, t.hi));
+            nonempty_ranges.push((ne_lo, nonempty.len()));
         }
-        (estimated_work, tiles, max_row_entries, slot_ranges, row_ranges, bound)
+        (estimated_work, tiles, max_row_entries, slot_ranges, row_ranges, nonempty, nonempty_ranges, bound)
     });
-    let (estimated_work, tiles, max_row_entries, slot_ranges, row_ranges, bound) =
+    let (estimated_work, tiles, max_row_entries, slot_ranges, row_ranges, nonempty, nonempty_ranges, bound) =
         match prologue {
             Ok(v) => v,
             Err(msg) => {
@@ -163,6 +180,8 @@ pub(crate) fn prepare<T: Copy + Sync>(
         tiles,
         slot_ranges,
         row_ranges,
+        nonempty,
+        nonempty_ranges,
         bound,
         estimated_work,
         max_row_entries,
@@ -171,18 +190,21 @@ pub(crate) fn prepare<T: Copy + Sync>(
     })
 }
 
-/// Structural fingerprint of the `(A, B, M)` operand triple.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Structural fingerprint of the `(A, B, M)` operand triple. Hashable so
+/// the service layer can key its plan cache on it (equality is still
+/// checked on every cache hit — the hash is a lookup accelerator, not the
+/// validity proof).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub(crate) struct Fingerprint {
-    a: u64,
-    b: u64,
-    mask: u64,
+    pub(crate) a: u64,
+    pub(crate) b: u64,
+    pub(crate) mask: u64,
 }
 
 /// FNV-style sequential fold with a strong finalizer — not cryptographic,
 /// just a cheap structure digest with good avalanche on single-entry
 /// edits (the mutation-detection property the plan-reuse suite checks).
-fn fold(h: u64, v: u64) -> u64 {
+pub(crate) fn fold(h: u64, v: u64) -> u64 {
     (h ^ v).wrapping_mul(0x0000_0100_0000_01b3)
 }
 
@@ -206,7 +228,7 @@ fn fold_lanes<T: Copy>(mut lanes: [u64; 4], xs: &[T], to64: impl Fn(T) -> u64) -
 }
 
 /// splitmix64 finalizer.
-fn finish(mut h: u64) -> u64 {
+pub(crate) fn finish(mut h: u64) -> u64 {
     h ^= h >> 30;
     h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
     h ^= h >> 27;
@@ -277,15 +299,33 @@ pub(crate) fn fingerprint<T: Copy>(
 /// *without clearing* (every surviving row slot is rewritten by its tile
 /// or by the degraded retry before compaction reads it), and returns them
 /// — so the steady state allocates nothing and memsets nothing.
+///
+/// `accums` is the batch-path analogue of the worker-persistent
+/// [`WorkerScratch`](mspgemm_sched::WorkerScratch) slot: one type-erased
+/// accumulator cell per worker, owned by the *plan* rather than the
+/// worker because multiplexed runs interleave tiles of many jobs on each
+/// worker (a single worker-owned slot would thrash on every job switch).
+/// The cells are `mem::take`n for the run and handed back after, so a
+/// plan leased repeatedly from the service cache re-executes without
+/// rebuilding its accumulators. Staleness is type-driven, exactly like
+/// `WorkerScratch::get_or_build`: the tile body downcasts and rebuilds on
+/// mismatch (e.g. arming metrics flips the accumulator's `METER` const
+/// parameter and with it the `TypeId`).
 pub(crate) struct PlanScratch<S: Semiring> {
     pub(crate) slot_cols: Vec<Idx>,
     pub(crate) slot_vals: Vec<S::T>,
     pub(crate) row_nnz: Vec<u32>,
+    pub(crate) accums: Vec<std::sync::Mutex<Option<Box<dyn std::any::Any + Send>>>>,
 }
 
 impl<S: Semiring> Default for PlanScratch<S> {
     fn default() -> Self {
-        PlanScratch { slot_cols: Vec::new(), slot_vals: Vec::new(), row_nnz: Vec::new() }
+        PlanScratch {
+            slot_cols: Vec::new(),
+            slot_vals: Vec::new(),
+            row_nnz: Vec::new(),
+            accums: Vec::new(),
+        }
     }
 }
 

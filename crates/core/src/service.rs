@@ -1,0 +1,562 @@
+//! Concurrent submission service: an async front-end over one
+//! [`Executor`].
+//!
+//! [`Executor`] and [`crate::Session`] are synchronous — each caller
+//! blocks for the whole run, and concurrent callers serialize on the
+//! executor's run lock, each paying a full pool synchronisation for what
+//! is often a tiny masked product. The [`Service`] inverts that shape:
+//!
+//! * [`Service::submit`] is **non-blocking** — it enqueues the job on a
+//!   bounded admission queue and returns a [`JobTicket`] immediately.
+//!   A full queue is a structured refusal ([`SparseError::QueueFull`]),
+//!   never a block-forever: backpressure is the *caller's* decision.
+//! * A single dispatcher thread pops jobs in **fair batches**
+//!   (per-tenant deficit round-robin with priority/deadline hints — see
+//!   [`mspgemm_sched::SubmitQueue`]) and coalesces each batch into one
+//!   tiled run: every in-place job's tiles are multiplexed onto a single
+//!   pool synchronisation
+//!   ([`mspgemm_sched::WorkerPool::run_tiles_multi`]), so the fork/join
+//!   cost is paid once per *batch*, not once per product.
+//! * Results are bit-identical to serial execution: each job writes its
+//!   rows into its own mask-bound slot buffers, and every kernel folds
+//!   each row's products in the same `k` order no matter how tiles
+//!   interleave. Tile panics in one tenant's run are charged to that run
+//!   alone and recovered (or surfaced) per job — they never corrupt or
+//!   poison a sibling's product.
+//!
+//! The dispatcher keeps a small structural **plan cache** keyed by the
+//! operands' fingerprint + configuration, so a tenant resubmitting the
+//! same shape gets PR-5 plan reuse (no re-tiling, recycled slot buffers,
+//! and — for singleton batches — the worker-persistent accumulators)
+//! without holding a [`crate::plan::Plan`] of its own.
+//!
+//! Shutdown is deterministic: dropping the service closes the queue,
+//! cancels everything still queued ([`SparseError::Cancelled`]) and joins
+//! the dispatcher thread, so repeated construction in one process leaks
+//! neither threads nor queue slots. Pool-structural failure
+//! ([`SparseError::ExecutorPoisoned`]) is terminal: every queued job is
+//! completed with the poison error, the queue drains and closes, and
+//! later submissions are refused with the same error.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::config::{Config, IterationSpace};
+use mspgemm_accum::AccumulatorKind;
+use mspgemm_sched::Schedule;
+use crate::driver::{run_plan, run_plan_batch, BatchJob, RunStats};
+use crate::executor::Executor;
+use crate::plan::{self, Fingerprint, PlanCore, PlanScratch};
+use mspgemm_rt::obs;
+use mspgemm_sched::{ticket, Entry, QueueTag, RefusalReason, SubmitQueue, Ticket, TicketWriter};
+use mspgemm_sparse::{Csr, Semiring, SparseError};
+
+/// Sizing knobs for a [`Service`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceOptions {
+    /// Admission queue capacity; a submit beyond it is refused with
+    /// [`SparseError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Most jobs one dispatch batch may coalesce into a single tiled run.
+    pub batch_max: usize,
+    /// Cached symbolic plans kept by the dispatcher before it discards
+    /// the lot (simple full-clear eviction — the cache is a reuse
+    /// accelerator, not a correctness surface).
+    pub plan_cache_max: usize,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions { queue_capacity: 256, batch_max: 16, plan_cache_max: 128 }
+    }
+}
+
+/// Per-submission scheduling hints.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SubmitOptions {
+    /// Fairness domain: the queue's deficit round-robin balances dispatch
+    /// slots across distinct tenant ids.
+    pub tenant: u32,
+    /// Higher dispatches first; also weights the job's share of the
+    /// multiplexed tile interleave.
+    pub priority: u8,
+    /// Soft deadline: among equal-priority jobs, earlier deadlines
+    /// dispatch first. Never causes rejection.
+    pub deadline: Option<Instant>,
+}
+
+/// A completed service call: the product plus queue-side measurements.
+#[derive(Debug)]
+pub struct ServiceReply<S: Semiring> {
+    /// `C = M ⊙ (A × B)` — bit-identical to a serial
+    /// [`Executor::execute`] with the same configuration.
+    pub c: Csr<S::T>,
+    /// Driver measurements (see [`RunStats`] for the batched-run caveats).
+    pub stats: RunStats,
+    /// Admission-to-dispatch latency.
+    pub queue_delay: Duration,
+    /// Jobs coalesced into the run that produced this reply.
+    pub batch_size: usize,
+}
+
+/// What travels through the queue: the operand triple (shared, so queued
+/// jobs never copy matrices), the configuration, and the one-shot
+/// completion channel back to the submitter.
+struct JobPayload<S: Semiring> {
+    a: Arc<Csr<S::T>>,
+    b: Arc<Csr<S::T>>,
+    mask: Arc<Csr<S::T>>,
+    config: Config,
+    writer: TicketWriter<Result<ServiceReply<S>, SparseError>>,
+}
+
+/// The submitter's half of one queued job.
+pub struct JobTicket<S: Semiring> {
+    ticket: Ticket<Result<ServiceReply<S>, SparseError>>,
+    id: u64,
+    queue: SubmitQueue<JobPayload<S>>,
+}
+
+impl<S: Semiring> JobTicket<S> {
+    /// The queue id of this submission (stable across its lifetime).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Whether the reply is already available (non-blocking).
+    pub fn is_resolved(&self) -> bool {
+        self.ticket.is_resolved()
+    }
+
+    /// Block until the job completes. A ticket whose writer disappeared
+    /// without completing (service dropped mid-flight) reads as
+    /// [`SparseError::Cancelled`].
+    pub fn wait(self) -> Result<ServiceReply<S>, SparseError> {
+        match self.ticket.wait() {
+            Ok(reply) => reply,
+            Err(_lost) => Err(SparseError::Cancelled),
+        }
+    }
+
+    /// Like [`wait`](Self::wait) with a bound; returns the ticket back on
+    /// expiry so the caller can keep waiting.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Result<ServiceReply<S>, SparseError>, Self> {
+        match self.ticket.wait_timeout(timeout) {
+            Ok(Ok(reply)) => Ok(reply),
+            Ok(Err(_lost)) => Ok(Err(SparseError::Cancelled)),
+            Err(ticket) => Err(JobTicket { ticket, id: self.id, queue: self.queue }),
+        }
+    }
+
+    /// Try to withdraw the job before dispatch. Returns `true` iff it was
+    /// still queued — the job then completes with
+    /// [`SparseError::Cancelled`] and its queue slot is released. A job
+    /// already picked up by the dispatcher runs to completion and
+    /// `cancel` returns `false`.
+    pub fn cancel(&self) -> bool {
+        match self.queue.cancel(self.id) {
+            Some(entry) => {
+                obs::incr(obs::Counter::SvcCancelled);
+                entry.job.writer.complete(Err(SparseError::Cancelled));
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// One cached symbolic plan: fingerprint-guarded core + its cross-run
+/// slot buffers, leased out to at most one batch job at a time.
+struct CachedPlan<S: Semiring> {
+    fp: Fingerprint,
+    config: Config,
+    core: PlanCore,
+    scratch: PlanScratch<S>,
+}
+
+/// A concurrent multi-tenant submission front-end over one [`Executor`].
+/// See the module docs for the architecture; see
+/// [`crate::stress::run_stress`] for the adversarial harness that checks
+/// its isolation and bit-identity guarantees.
+pub struct Service<S: Semiring> {
+    exec: Executor,
+    queue: SubmitQueue<JobPayload<S>>,
+    shutdown: Arc<AtomicBool>,
+    poisoned: Arc<OnceLock<String>>,
+    batch_max: usize,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl<S: Semiring> Service<S> {
+    /// A service over the process-wide [`Executor::global`] pool.
+    pub fn new(options: ServiceOptions) -> Self {
+        Service::on(Executor::global(), options)
+    }
+
+    /// A service over a specific executor. Several services may share one
+    /// executor; their dispatchers serialize on its run lock.
+    pub fn on(exec: &Executor, options: ServiceOptions) -> Self {
+        let queue: SubmitQueue<JobPayload<S>> = SubmitQueue::new(options.queue_capacity);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let poisoned: Arc<OnceLock<String>> = Arc::new(OnceLock::new());
+        let dispatcher = {
+            let exec = exec.clone();
+            let queue = queue.clone();
+            let shutdown = Arc::clone(&shutdown);
+            let poisoned = Arc::clone(&poisoned);
+            let batch_max = options.batch_max.max(1);
+            let cache_max = options.plan_cache_max.max(1);
+            std::thread::Builder::new()
+                .name("mspgemm-svc".into())
+                .spawn(move || {
+                    dispatch_loop::<S>(exec, queue, batch_max, cache_max, shutdown, poisoned)
+                })
+                .ok()
+        };
+        Service {
+            exec: exec.clone(),
+            queue,
+            shutdown,
+            poisoned,
+            batch_max: options.batch_max.max(1),
+            dispatcher,
+        }
+    }
+
+    /// The executor this service dispatches onto.
+    pub fn executor(&self) -> &Executor {
+        &self.exec
+    }
+
+    /// Jobs currently queued (admitted, not yet dispatched).
+    pub fn depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// The admission queue capacity.
+    pub fn capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
+    /// Most jobs one dispatch batch coalesces.
+    pub fn batch_max(&self) -> usize {
+        self.batch_max
+    }
+
+    /// Enqueue `C = M ⊙ (A × B)` and return immediately with a
+    /// [`JobTicket`]. Never blocks and never computes inline:
+    ///
+    /// * a full queue refuses with [`SparseError::QueueFull`] — nothing
+    ///   was enqueued, the caller decides whether to retry, shed, or wait;
+    /// * a poisoned executor refuses with
+    ///   [`SparseError::ExecutorPoisoned`];
+    /// * shape validation happens at dispatch, surfacing through the
+    ///   ticket like any other per-job error.
+    pub fn submit(
+        &self,
+        a: Arc<Csr<S::T>>,
+        b: Arc<Csr<S::T>>,
+        mask: Arc<Csr<S::T>>,
+        config: Config,
+        opts: SubmitOptions,
+    ) -> Result<JobTicket<S>, SparseError> {
+        let (writer, ticket) = ticket();
+        let payload = JobPayload { a, b, mask, config, writer };
+        let tag =
+            QueueTag { tenant: opts.tenant, priority: opts.priority, deadline: opts.deadline };
+        match self.queue.try_push(payload, tag) {
+            Ok(id) => {
+                obs::incr(obs::Counter::SvcSubmitted);
+                Ok(JobTicket { ticket, id, queue: self.queue.clone() })
+            }
+            Err(refused) => {
+                obs::incr(obs::Counter::SvcRejected);
+                // the refused payload (and its writer) drop here; the
+                // returned error is the caller's signal, not the ticket's
+                match refused.reason {
+                    RefusalReason::Full { capacity } => Err(SparseError::QueueFull { capacity }),
+                    RefusalReason::Closed => Err(self.poison_error()),
+                }
+            }
+        }
+    }
+
+    /// The terminal error a closed service surfaces: the recorded poison
+    /// if the pool died, otherwise plain cancellation (service dropped).
+    fn poison_error(&self) -> SparseError {
+        match self.poisoned.get() {
+            Some(detail) => SparseError::ExecutorPoisoned { detail: detail.clone() },
+            None => SparseError::Cancelled,
+        }
+    }
+}
+
+impl<S: Semiring> Drop for Service<S> {
+    /// Deterministic teardown: close the queue, let the dispatcher cancel
+    /// whatever is still queued, and join it. After this no thread of the
+    /// service survives — the executor (and its workers) are untouched.
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A popped entry carried through planning to execution.
+struct PreparedJob<S: Semiring> {
+    entry: Entry<JobPayload<S>>,
+    key: u64,
+    fp: Fingerprint,
+    core: PlanCore,
+    scratch: PlanScratch<S>,
+    setup: Duration,
+    queue_delay: Duration,
+}
+
+/// Plan-cache key: the structural fingerprint folded with the
+/// configuration label. The hash accelerates lookup only — a hit is
+/// verified against the stored fingerprint *and* configuration before the
+/// plan is trusted.
+fn cache_key(fp: &Fingerprint, config: &Config) -> u64 {
+    let mut h = plan::fold(fp.a, fp.b);
+    h = plan::fold(h, fp.mask);
+    // fold the configuration axes numerically (this runs once per
+    // dispatched job — no label-string formatting on the hot path);
+    // collisions are harmless because every hit is verified with an
+    // exact `config ==` comparison before the plan is trusted
+    h = plan::fold(h, config.n_threads as u64);
+    h = plan::fold(h, config.n_tiles as u64);
+    h = plan::fold(h, config.tiling as u64);
+    h = plan::fold(
+        h,
+        match config.schedule {
+            Schedule::Static => 1,
+            Schedule::Dynamic { chunk } => 2 | (chunk as u64) << 8,
+            Schedule::Guided { chunk } => 3 | (chunk as u64) << 8,
+        },
+    );
+    h = plan::fold(
+        h,
+        match config.accumulator {
+            AccumulatorKind::Dense(w) => 1 | (w as u64) << 8,
+            AccumulatorKind::Hash(w) => 2 | (w as u64) << 8,
+            AccumulatorKind::Sort => 3,
+        },
+    );
+    h = plan::fold(
+        h,
+        match config.iteration {
+            IterationSpace::Vanilla => 1,
+            IterationSpace::MaskAccumulate => 2,
+            IterationSpace::CoIterate => 3,
+            IterationSpace::Hybrid { kappa } => 4 | (kappa.to_bits() & !0xffu64),
+        },
+    );
+    h = plan::fold(h, config.assembly as u64);
+    plan::finish(h)
+}
+
+/// The dispatcher: pop fair batches, plan (or reuse) each job, coalesce
+/// the batch into one run, complete the tickets. Runs until the queue is
+/// closed *and* drained, so `Service::drop` observes every job settled.
+fn dispatch_loop<S: Semiring>(
+    exec: Executor,
+    queue: SubmitQueue<JobPayload<S>>,
+    batch_max: usize,
+    cache_max: usize,
+    shutdown: Arc<AtomicBool>,
+    poisoned: Arc<OnceLock<String>>,
+) {
+    let mut batch: Vec<Entry<JobPayload<S>>> = Vec::new();
+    // Multi-lease plan cache: each key holds a *stack* of interchangeable
+    // plans, because one batch routinely carries many same-shape jobs and
+    // every job in a run needs its own plan (slot buffers cannot be
+    // shared within a run). A single-plan cache would hit once per batch
+    // and re-run the full symbolic phase for every sibling — the stack
+    // warms up to the observed batch width instead. `cached_plans`
+    // counts plans (not keys) against `cache_max`.
+    let mut cache: HashMap<u64, Vec<CachedPlan<S>>> = HashMap::new();
+    let mut cached_plans = 0usize;
+    // One-entry fingerprint memo keyed by operand *identity*: closed-loop
+    // clients resubmit the same `Arc`'d operands job after job, and
+    // re-hashing the mask's row pointers would be the largest remaining
+    // per-job symbolic cost. Holding the `Arc`s (not raw pointers) makes
+    // the identity check sound — the memoized operands cannot be freed
+    // and their addresses reused while the memo is alive. `Csr` is
+    // immutable, so same allocation ⇒ same structure ⇒ same fingerprint.
+    let mut fp_memo: Option<(Arc<Csr<S::T>>, Arc<Csr<S::T>>, Arc<Csr<S::T>>, Config, Fingerprint)> =
+        None;
+    while queue.pop_batch(batch_max, &mut batch) {
+        if shutdown.load(Ordering::SeqCst) {
+            for entry in batch.drain(..) {
+                obs::incr(obs::Counter::SvcCancelled);
+                entry.job.writer.complete(Err(SparseError::Cancelled));
+            }
+            continue;
+        }
+        let popped = Instant::now();
+        obs::incr(obs::Counter::SvcBatches);
+        obs::add(obs::Counter::SvcBatchedJobs, batch.len() as u64);
+        obs::record(obs::Hist::SvcBatchSize, batch.len() as u64);
+
+        // --- symbolic phase: lease a cached plan per job or prepare a
+        // fresh one. A lease removes the cache slot, so two same-shape
+        // jobs in one batch get independent plans (their slot buffers
+        // cannot be shared within a run). ---
+        let mut prepared: Vec<PreparedJob<S>> = Vec::with_capacity(batch.len());
+        for entry in batch.drain(..) {
+            let setup_start = Instant::now();
+            let queue_delay = popped.saturating_duration_since(entry.enqueued);
+            obs::record(obs::Hist::SvcQueueDelayUs, queue_delay.as_micros() as u64);
+            let fp = match &fp_memo {
+                Some((ma, mb, mm, mc, f))
+                    if Arc::ptr_eq(ma, &entry.job.a)
+                        && Arc::ptr_eq(mb, &entry.job.b)
+                        && Arc::ptr_eq(mm, &entry.job.mask)
+                        && *mc == entry.job.config =>
+                {
+                    *f
+                }
+                _ => {
+                    let f = plan::fingerprint(
+                        &entry.job.a,
+                        &entry.job.b,
+                        &entry.job.mask,
+                        &entry.job.config,
+                    );
+                    fp_memo = Some((
+                        Arc::clone(&entry.job.a),
+                        Arc::clone(&entry.job.b),
+                        Arc::clone(&entry.job.mask),
+                        entry.job.config,
+                        f,
+                    ));
+                    f
+                }
+            };
+            let key = cache_key(&fp, &entry.job.config);
+            let leased = cache.get_mut(&key).and_then(|stack| {
+                // hash collisions or stale slots stay put; plan fresh
+                let pos = stack
+                    .iter()
+                    .position(|c| c.fp == fp && c.config == entry.job.config)?;
+                Some(stack.swap_remove(pos))
+            });
+            let leased = match leased {
+                Some(c) => {
+                    cached_plans -= 1;
+                    obs::incr(obs::Counter::SvcPlanCacheHits);
+                    Some((c.core, c.scratch))
+                }
+                None => None,
+            };
+            let (core, scratch) = match leased {
+                Some(hit) => hit,
+                None => {
+                    obs::incr(obs::Counter::SvcPlanCacheMisses);
+                    match plan::prepare(&entry.job.config, &entry.job.a, &entry.job.b, &entry.job.mask)
+                    {
+                        Ok(core) => (core, PlanScratch::default()),
+                        Err(e) => {
+                            obs::incr(obs::Counter::SvcCompleted);
+                            entry.job.writer.complete(Err(e));
+                            continue;
+                        }
+                    }
+                }
+            };
+            let setup = setup_start.elapsed();
+            prepared.push(PreparedJob { entry, key, fp, core, scratch, setup, queue_delay });
+        }
+
+        // --- numeric phase: one coalesced run (or the classic single-run
+        // path for a singleton batch, which keeps the plan-id-keyed
+        // worker-persistent accumulators — the single-tenant latency
+        // guarantee). ---
+        let batch_size = prepared.len();
+        let outcomes: Vec<Result<(Csr<S::T>, RunStats), SparseError>> = if batch_size == 1 {
+            let p = &mut prepared[0];
+            vec![run_plan::<S>(
+                exec.shared(),
+                &p.core,
+                Some(&mut p.scratch),
+                &p.entry.job.a,
+                &p.entry.job.b,
+                &p.entry.job.mask,
+                p.setup,
+            )]
+        } else {
+            let jobs: Vec<BatchJob<'_, S>> = prepared
+                .iter_mut()
+                .map(|p| BatchJob {
+                    core: &p.core,
+                    a: &p.entry.job.a,
+                    b: &p.entry.job.b,
+                    mask: &p.entry.job.mask,
+                    scratch: Some(&mut p.scratch),
+                    weight: 1 + p.entry.tag.priority as u32,
+                    setup: p.setup,
+                })
+                .collect();
+            run_plan_batch::<S>(exec.shared(), jobs)
+        };
+
+        // --- completion: hand every ticket its reply, re-park the plan
+        // leases, and latch on poison. The latch (record + close) happens
+        // *before* any poisoned ticket is completed: the moment a waiter
+        // can observe the poison, new submissions are already refused —
+        // otherwise a submit racing the close could be admitted into a
+        // dead service and hang until drop. ---
+        let poison_hit: Option<String> = outcomes.iter().find_map(|o| match o {
+            Err(SparseError::ExecutorPoisoned { detail }) => Some(detail.clone()),
+            _ => None,
+        });
+        if let Some(detail) = &poison_hit {
+            let _ = poisoned.set(detail.clone());
+            queue.close();
+        }
+        for (p, outcome) in prepared.into_iter().zip(outcomes) {
+            let reply = outcome.map(|(c, stats)| ServiceReply {
+                c,
+                stats,
+                queue_delay: p.queue_delay,
+                batch_size,
+            });
+            obs::incr(obs::Counter::SvcCompleted);
+            p.entry.job.writer.complete(reply);
+            if cached_plans >= cache_max {
+                cache.clear();
+                cached_plans = 0;
+            }
+            cache.entry(p.key).or_default().push(CachedPlan {
+                fp: p.fp,
+                config: p.entry.job.config,
+                core: p.core,
+                scratch: p.scratch,
+            });
+            cached_plans += 1;
+        }
+
+        if let Some(detail) = poison_hit {
+            // pool-structural loss is terminal: the queue is already
+            // closed (above), so fail whatever is still queued and stop.
+            // Every waiting tenant sees `ExecutorPoisoned`, and the queue
+            // ends closed *and* empty.
+            let mut rest: Vec<Entry<JobPayload<S>>> = Vec::new();
+            queue.drain(&mut rest);
+            for entry in rest {
+                obs::incr(obs::Counter::SvcCompleted);
+                entry
+                    .job
+                    .writer
+                    .complete(Err(SparseError::ExecutorPoisoned { detail: detail.clone() }));
+            }
+            break;
+        }
+    }
+}

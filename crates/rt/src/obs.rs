@@ -105,6 +105,14 @@ catalogue! { Counter, COUNTERS_ALL, N_COUNTERS;
     ExecPlanRebuilds => "exec.plan_rebuilds",
     GrbMxmMasked => "grb.mxm_masked",
     GrbMxmUnmasked => "grb.mxm_unmasked",
+    SvcSubmitted => "svc.submitted",
+    SvcCompleted => "svc.completed",
+    SvcRejected => "svc.rejected",
+    SvcCancelled => "svc.cancelled",
+    SvcBatches => "svc.batches",
+    SvcBatchedJobs => "svc.batched_jobs",
+    SvcPlanCacheHits => "svc.plan_cache_hits",
+    SvcPlanCacheMisses => "svc.plan_cache_misses",
 }
 
 catalogue! { Hist, HISTS_ALL, N_HISTS;
@@ -112,6 +120,8 @@ catalogue! { Hist, HISTS_ALL, N_HISTS;
     ThreadBusyUs => "sched.thread_busy_us",
     ClaimLatencyNs => "sched.claim_latency_ns",
     TileElapsedUs => "sched.tile_elapsed_us",
+    SvcQueueDelayUs => "svc.queue_delay_us",
+    SvcBatchSize => "svc.batch_size",
 }
 
 // `const` items may be repeated in array initialisers, giving N fresh

@@ -27,10 +27,15 @@
 pub mod persistent;
 pub mod pool;
 pub mod slots;
+pub mod submit;
 pub mod tile;
 pub mod work;
 
-pub use persistent::{PoolError, PoolRunError, WorkerPool, WorkerScratch};
+pub use persistent::{MultiOutcome, MultiRun, PoolError, PoolRunError, WorkerPool, WorkerScratch};
+pub use submit::{
+    ticket, Entry, PushRefused, QueueTag, RefusalReason, SubmitQueue, Ticket, TicketLost,
+    TicketWriter,
+};
 pub use pool::{catch_tile_panic, run_tiles, ExecError, Schedule, ThreadReport, TileFailure};
 pub use slots::DisjointSlots;
 pub use tile::{balanced_tiles, uniform_tiles, Tile, TilingStrategy};

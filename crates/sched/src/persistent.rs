@@ -33,7 +33,7 @@
 //! stack (a stored job is always mid-run, hence always valid).
 
 use std::any::Any;
-use std::sync::atomic::AtomicUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -403,6 +403,166 @@ impl WorkerPool {
             Err(PoolRunError::Tiles(ExecError { failures, reports }))
         }
     }
+
+    /// Execute several independent tile runs *multiplexed* onto one worker
+    /// team: the tile queues of all `runs` are interleaved into a single
+    /// deterministic claim order and drained by `n_threads` workers, so a
+    /// batch of small masked products costs one pool synchronisation
+    /// instead of one per product.
+    ///
+    /// The interleave is weighted round-robin: each fairness round, run
+    /// `r` contributes up to `runs[r].weight` of its remaining tiles (a
+    /// weight of 0 counts as 1). The order is a pure function of
+    /// `(n_tiles, weight)` across the slice — scheduling is deterministic
+    /// even though which *worker* executes a given tile is not.
+    ///
+    /// Fault isolation is per tile *and* per run: an unwinding tile is
+    /// recorded under its own run in [`MultiOutcome::failures`] (and the
+    /// worker's scratch invalidated) while every other run's tiles keep
+    /// draining untouched. Tile failures therefore never surface as an
+    /// `Err` here — only pool-infrastructure failures do — because one
+    /// tenant's failure must not fail a sibling's run; callers settle each
+    /// run from its own failure list.
+    pub fn run_tiles_multi(
+        &self,
+        n_threads: usize,
+        runs: &[MultiRun<'_>],
+    ) -> Result<MultiOutcome, PoolError> {
+        let n_threads = n_threads.max(1);
+        let total: usize = runs.iter().map(|r| r.n_tiles).sum();
+        if total == 0 {
+            return Ok(MultiOutcome {
+                reports: vec![ThreadReport::default(); n_threads],
+                completed: vec![0; runs.len()],
+                failures: runs.iter().map(|_| Vec::new()).collect(),
+            });
+        }
+        // Deterministic weighted-round-robin interleave. Workers claim
+        // positions in this order via one shared cursor (dynamic, chunk 1
+        // — the batch path exists for many *small* runs, where per-tile
+        // claims are the right granularity).
+        let mut order: Vec<(usize, usize)> = Vec::with_capacity(total);
+        let mut next: Vec<usize> = vec![0; runs.len()];
+        while order.len() < total {
+            for (r, run) in runs.iter().enumerate() {
+                let take = (run.weight.max(1) as usize).min(run.n_tiles - next[r]);
+                for _ in 0..take {
+                    order.push((r, next[r]));
+                    next[r] += 1;
+                }
+            }
+        }
+        let cursor = AtomicUsize::new(0);
+        let completed: Vec<AtomicUsize> = runs.iter().map(|_| AtomicUsize::new(0)).collect();
+        let failures: Mutex<Vec<(usize, TileFailure)>> = Mutex::new(Vec::new());
+        let reports: Vec<Mutex<ThreadReport>> =
+            (0..n_threads).map(|_| Mutex::new(ThreadReport::default())).collect();
+        let metrics_on = obs::armed();
+        let trace_on = obs::trace_armed();
+
+        let job = |t: usize, ws: &mut WorkerScratch| {
+            let mut report = ThreadReport::default();
+            let mut scratch = ObsScratch::default();
+            loop {
+                let claim_start = if metrics_on { Some(Instant::now()) } else { None };
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if let Some(s) = claim_start {
+                    scratch.claims += 1;
+                    scratch.claim_ns.record(s.elapsed().as_nanos() as u64);
+                }
+                if idx >= order.len() {
+                    break;
+                }
+                let (r, tile) = order[idx];
+                let ts_us = if trace_on { obs::now_us() } else { 0 };
+                let start = Instant::now();
+                if metrics_on {
+                    scratch.started += 1;
+                }
+                match catch_tile_panic(|| (runs[r].body)(t, ws, tile)) {
+                    Ok(()) => {
+                        let elapsed = start.elapsed();
+                        report.busy += elapsed;
+                        report.tiles_run += 1;
+                        completed[r].fetch_add(1, Ordering::Relaxed);
+                        if metrics_on {
+                            scratch.completed += 1;
+                            scratch.tile_us.record(elapsed.as_micros() as u64);
+                        }
+                        if trace_on {
+                            obs::complete_event(
+                                "tile",
+                                tile as u64,
+                                t as u64,
+                                ts_us,
+                                elapsed.as_micros() as u64,
+                            );
+                        }
+                    }
+                    Err(msg) => {
+                        report.tiles_failed += 1;
+                        scratch.failed += 1;
+                        let mut guard = failures.lock().unwrap_or_else(|e| e.into_inner());
+                        guard.push((
+                            r,
+                            TileFailure { tile, payload: msg, elapsed: start.elapsed() },
+                        ));
+                        drop(guard);
+                        // cross-run scratch may be mid-update; rebuild
+                        // from clean on next use
+                        ws.invalidate();
+                    }
+                }
+            }
+            if metrics_on {
+                scratch.flush(report.busy);
+            }
+            *reports[t].lock().unwrap_or_else(|e| e.into_inner()) = report;
+        };
+
+        self.run(n_threads, &job)?;
+
+        let mut per_run: Vec<Vec<TileFailure>> = runs.iter().map(|_| Vec::new()).collect();
+        for (r, f) in failures.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            per_run[r].push(f);
+        }
+        for v in &mut per_run {
+            v.sort_by_key(|f| f.tile);
+        }
+        Ok(MultiOutcome {
+            reports: reports
+                .into_iter()
+                .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+                .collect(),
+            completed: completed.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            failures: per_run,
+        })
+    }
+}
+
+/// One run's tile queue, as multiplexed by [`WorkerPool::run_tiles_multi`].
+pub struct MultiRun<'a> {
+    /// Number of tiles this run contributes; the body sees `0..n_tiles`.
+    pub n_tiles: usize,
+    /// Interleave weight: tiles this run contributes per fairness round of
+    /// the deterministic claim order (0 is treated as 1).
+    pub weight: u32,
+    /// Per-tile body, `body(worker, scratch, tile)` — same contract as the
+    /// body of [`WorkerPool::run_tiles`].
+    pub body: &'a (dyn Fn(usize, &mut WorkerScratch, usize) + Sync),
+}
+
+/// Per-run accounting from [`WorkerPool::run_tiles_multi`]. Indices into
+/// `completed`/`failures` match the input `runs` slice.
+pub struct MultiOutcome {
+    /// One report per worker, across all runs (workers interleave tiles
+    /// from different runs, so busy time cannot be split per run).
+    pub reports: Vec<ThreadReport>,
+    /// Tiles completed per run.
+    pub completed: Vec<usize>,
+    /// Failures per run, each sorted by tile index. A run succeeded iff
+    /// its list is empty.
+    pub failures: Vec<Vec<TileFailure>>,
 }
 
 impl Drop for WorkerPool {
@@ -644,6 +804,107 @@ mod tests {
         let pool = WorkerPool::new();
         pool.run_tiles(4, 16, Schedule::Dynamic { chunk: 1 }, |_, _, _| {}).unwrap();
         drop(pool); // must not hang or leak threads
+    }
+
+    #[test]
+    fn multi_run_executes_every_tile_of_every_run_exactly_once() {
+        let pool = WorkerPool::new();
+        let sizes = [17usize, 1, 0, 40, 8];
+        let counts: Vec<Vec<AtomicU64>> = sizes
+            .iter()
+            .map(|&n| (0..n).map(|_| AtomicU64::new(0)).collect())
+            .collect();
+        let bodies: Vec<Box<dyn Fn(usize, &mut WorkerScratch, usize) + Sync>> = counts
+            .iter()
+            .map(|c| {
+                let c = c;
+                Box::new(move |_: usize, _: &mut WorkerScratch, tile: usize| {
+                    c[tile].fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn Fn(usize, &mut WorkerScratch, usize) + Sync>
+            })
+            .collect();
+        let runs: Vec<MultiRun<'_>> = sizes
+            .iter()
+            .zip(&bodies)
+            .map(|(&n_tiles, body)| MultiRun { n_tiles, weight: 1, body: body.as_ref() })
+            .collect();
+        let out = pool.run_tiles_multi(4, &runs).unwrap();
+        for (r, c) in counts.iter().enumerate() {
+            for (i, n) in c.iter().enumerate() {
+                assert_eq!(n.load(Ordering::Relaxed), 1, "run {r} tile {i}");
+            }
+            assert_eq!(out.completed[r], sizes[r]);
+            assert!(out.failures[r].is_empty());
+        }
+        assert_eq!(
+            out.reports.iter().map(|x| x.tiles_run).sum::<usize>(),
+            sizes.iter().sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn multi_run_interleave_is_weighted_and_deterministic() {
+        // One worker drains the claim order sequentially, exposing the
+        // interleave: with weights 2:1 the schedule must alternate two
+        // tiles of run 0 with one of run 1 until run 0 drains.
+        let pool = WorkerPool::new();
+        let seen: Mutex<Vec<(usize, usize)>> = Mutex::new(Vec::new());
+        let body0 = |_: usize, _: &mut WorkerScratch, tile: usize| {
+            seen.lock().unwrap().push((0, tile));
+        };
+        let body1 = |_: usize, _: &mut WorkerScratch, tile: usize| {
+            seen.lock().unwrap().push((1, tile));
+        };
+        let runs = [
+            MultiRun { n_tiles: 4, weight: 2, body: &body0 },
+            MultiRun { n_tiles: 4, weight: 1, body: &body1 },
+        ];
+        pool.run_tiles_multi(1, &runs).unwrap();
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(
+            seen,
+            vec![
+                (0, 0), (0, 1), (1, 0),
+                (0, 2), (0, 3), (1, 1),
+                (1, 2), (1, 3),
+            ],
+            "weighted round-robin order"
+        );
+    }
+
+    #[test]
+    fn multi_run_panic_is_charged_to_its_own_run_only() {
+        let pool = WorkerPool::new();
+        let body_ok = |_: usize, _: &mut WorkerScratch, _: usize| {};
+        let body_bad = |_: usize, _: &mut WorkerScratch, tile: usize| {
+            if tile == 3 {
+                panic!("tenant-local failure on tile {tile}");
+            }
+        };
+        let runs = [
+            MultiRun { n_tiles: 20, weight: 1, body: &body_ok },
+            MultiRun { n_tiles: 10, weight: 1, body: &body_bad },
+            MultiRun { n_tiles: 20, weight: 1, body: &body_ok },
+        ];
+        let out = pool.run_tiles_multi(4, &runs).unwrap();
+        assert!(out.failures[0].is_empty(), "healthy run 0 sees no failures");
+        assert!(out.failures[2].is_empty(), "healthy run 2 sees no failures");
+        assert_eq!(out.failures[1].len(), 1);
+        assert_eq!(out.failures[1][0].tile, 3);
+        assert!(out.failures[1][0].payload.contains("tenant-local failure"));
+        assert_eq!(out.completed[0], 20, "siblings drain fully");
+        assert_eq!(out.completed[1], 9);
+        assert_eq!(out.completed[2], 20);
+        // the pool itself stays healthy
+        pool.run_tiles(2, 8, Schedule::Static, |_, _, _| {}).unwrap();
+    }
+
+    #[test]
+    fn multi_run_empty_batch_is_a_noop() {
+        let pool = WorkerPool::new();
+        let out = pool.run_tiles_multi(4, &[]).unwrap();
+        assert!(out.completed.is_empty());
+        assert_eq!(pool.spawned_workers(), 0, "no work, no threads");
     }
 
     #[test]

@@ -15,10 +15,13 @@ use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// A mutable buffer pre-split into validated, non-overlapping ranges, each
-/// claimable exactly once from any thread.
+/// claimable exactly once from any thread. The ranges are borrowed, not
+/// owned: callers carve the same plan-owned layout into fresh slots on
+/// every run, and cloning it per construction showed up as allocator
+/// traffic in the per-job cost of small batched products.
 pub struct DisjointSlots<'a, T> {
     base: *mut T,
-    ranges: Vec<(usize, usize)>,
+    ranges: &'a [(usize, usize)],
     claimed: Vec<AtomicBool>,
     _marker: PhantomData<&'a mut [T]>,
 }
@@ -35,7 +38,7 @@ impl<'a, T> DisjointSlots<'a, T> {
     /// and in-bounds; gaps are fine (the skipped elements are simply never
     /// handed out). Returns a message instead of panicking so the driver
     /// can surface a structured error.
-    pub fn new(data: &'a mut [T], ranges: Vec<(usize, usize)>) -> Result<Self, String> {
+    pub fn new(data: &'a mut [T], ranges: &'a [(usize, usize)]) -> Result<Self, String> {
         let len = data.len();
         let mut prev_hi = 0usize;
         for (k, &(lo, hi)) in ranges.iter().enumerate() {
@@ -86,7 +89,7 @@ mod tests {
     #[test]
     fn hands_out_each_range_once() {
         let mut buf = vec![0u32; 10];
-        let slots = DisjointSlots::new(&mut buf, vec![(0, 3), (3, 3), (5, 10)]).unwrap();
+        let slots = DisjointSlots::new(&mut buf, &[(0, 3), (3, 3), (5, 10)]).unwrap();
         assert_eq!(slots.len(), 3);
         let s0 = slots.take(0).unwrap();
         assert_eq!(s0.len(), 3);
@@ -105,14 +108,14 @@ mod tests {
     #[test]
     fn rejects_overlapping_and_out_of_bounds_ranges() {
         let mut buf = vec![0u8; 8];
-        assert!(DisjointSlots::new(&mut buf, vec![(0, 5), (4, 8)]).is_err(), "overlap");
+        assert!(DisjointSlots::new(&mut buf, &[(0, 5), (4, 8)]).is_err(), "overlap");
         let mut buf = vec![0u8; 8];
-        assert!(DisjointSlots::new(&mut buf, vec![(0, 9)]).is_err(), "past end");
+        assert!(DisjointSlots::new(&mut buf, &[(0, 9)]).is_err(), "past end");
         let mut buf = vec![0u8; 8];
-        assert!(DisjointSlots::new(&mut buf, vec![(5, 3)]).is_err(), "inverted");
+        assert!(DisjointSlots::new(&mut buf, &[(5, 3)]).is_err(), "inverted");
         let mut buf = vec![0u8; 8];
         assert!(
-            DisjointSlots::new(&mut buf, vec![(0, 2), (4, 6)]).is_ok(),
+            DisjointSlots::new(&mut buf, &[(0, 2), (4, 6)]).is_ok(),
             "gaps are allowed"
         );
     }
@@ -123,7 +126,7 @@ mod tests {
         let per = 100usize;
         let mut buf = vec![0usize; n * per];
         let ranges: Vec<_> = (0..n).map(|k| (k * per, (k + 1) * per)).collect();
-        let slots = DisjointSlots::new(&mut buf, ranges).unwrap();
+        let slots = DisjointSlots::new(&mut buf, &ranges).unwrap();
         std::thread::scope(|scope| {
             for t in 0..4 {
                 let slots = &slots;

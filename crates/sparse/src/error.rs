@@ -59,6 +59,18 @@ pub enum SparseError {
     /// ordinary kernel panic — those are retried per tile). The executor
     /// refuses further runs; build a fresh one.
     ExecutorPoisoned { detail: String },
+    /// A service's bounded admission queue was at capacity when the job
+    /// was submitted. This is backpressure, not failure: nothing was
+    /// enqueued and nothing blocks — retry later, shed the request, or
+    /// raise the queue capacity.
+    QueueFull {
+        /// The queue's configured capacity at rejection time.
+        capacity: usize,
+    },
+    /// The job was cancelled (by its ticket) before it was dispatched, or
+    /// its service shut down while it was still queued. No computation was
+    /// performed.
+    Cancelled,
 }
 
 impl fmt::Display for SparseError {
@@ -116,6 +128,14 @@ impl fmt::Display for SparseError {
                 "executor poisoned by a panic outside tile isolation: {detail}; \
                  create a new executor"
             ),
+            SparseError::QueueFull { capacity } => write!(
+                f,
+                "admission queue full ({capacity} jobs queued); nothing was \
+                 enqueued — retry later or raise the queue capacity"
+            ),
+            SparseError::Cancelled => {
+                write!(f, "job cancelled before dispatch; no computation was performed")
+            }
         }
     }
 }
@@ -189,6 +209,26 @@ mod tests {
         assert!(s.contains("poisoned"), "{s}");
         assert!(s.contains("scheduler unwound"), "{s}");
         assert!(s.contains("new executor"), "{s}");
+    }
+
+    #[test]
+    fn queue_full_names_the_capacity_and_is_retryable_advice() {
+        let e = SparseError::QueueFull { capacity: 256 };
+        let s = e.to_string();
+        assert!(s.contains("queue full"), "{s}");
+        assert!(s.contains("256"), "{s}");
+        assert!(s.contains("retry"), "{s}");
+        // backpressure must stay comparable so callers can match on it
+        assert_eq!(e, SparseError::QueueFull { capacity: 256 });
+        assert_ne!(e, SparseError::QueueFull { capacity: 8 });
+    }
+
+    #[test]
+    fn cancelled_says_nothing_ran() {
+        let e = SparseError::Cancelled;
+        let s = e.to_string();
+        assert!(s.contains("cancelled"), "{s}");
+        assert!(s.contains("no computation"), "{s}");
     }
 
     #[test]

@@ -54,6 +54,22 @@ echo "== fault-injection pass (pinned seed) =="
 MSPGEMM_FAILPOINTS='tile-kernel=panic@p:0.05,seed:42' \
     cargo test -q -p mspgemm-core --offline fault_
 
+echo "== concurrency smoke (adversarial stress, failpoints armed) =="
+# The unarmed concurrency suite runs in the workspace test pass above;
+# here the same suite runs with tile panics injected — a failing tile in
+# one tenant's run must be recovered (or surfaced) without corrupting or
+# poisoning any sibling's reply.
+MSPGEMM_FAILPOINTS='tile-kernel=panic@p:0.05,seed:42' \
+    cargo test -q --offline --test concurrency
+# And the CLI stress harness end-to-end: 64 tenants x 50 seeded
+# submit/cancel/drop runs over three mask shapes, every reply checked
+# bit-identical to its serial reference, non-zero exit on any mismatch
+# or leaked queue slot.
+MSPGEMM_FAILPOINTS='tile-kernel=panic@p:0.02,seed:42' \
+    target/release/mspgemm stress --graph GAP-road --scale 0.05 \
+    --tenants 64 --runs 50 > /dev/null
+echo "ok: concurrent replies stay bit-identical under injected tile panics"
+
 echo "== metrics pass (armed run + self-validation) =="
 # The CLI must produce a schema-valid mspgemm.run/1 report and a chrome
 # trace with --metrics/--trace armed, and must validate its own output
@@ -107,7 +123,19 @@ if [ -n "$hits" ]; then
     echo "$hits" >&2
     exit 1
 fi
-echo "ok: kernel non-test code performs no heap allocation"
+# The submission queue's pop path fills caller-owned buffers, and
+# DisjointSlots borrows the plan-owned range layout — per-job dispatch
+# must not regrow either (the ranges clone showed up as allocator
+# traffic in the per-job cost of small batched products).
+hits=$(for f in crates/sched/src/submit.rs crates/sched/src/slots.rs; do
+    awk '/^#\[cfg\(test\)\]/ { exit } /Vec::new\(|Vec::with_capacity\(|vec!\[/ { print FILENAME ":" FNR ": " $0 }' "$f"
+done)
+if [ -n "$hits" ]; then
+    echo "FAIL: heap allocation on the per-job submit/slot path:" >&2
+    echo "$hits" >&2
+    exit 1
+fi
+echo "ok: kernel and submit/slot non-test code performs no heap allocation"
 
 echo "== panic-hygiene grep gate =="
 # Non-test code of the pool, the persistent worker layer, the driver,
@@ -117,8 +145,10 @@ echo "== panic-hygiene grep gate =="
 # unwrap on purpose) are exempt.
 gate_fail=0
 for f in crates/sched/src/pool.rs crates/sched/src/persistent.rs \
+         crates/sched/src/submit.rs \
          crates/core/src/driver.rs crates/core/src/plan.rs \
-         crates/core/src/executor.rs; do
+         crates/core/src/executor.rs crates/core/src/service.rs \
+         crates/core/src/stress.rs; do
     hits=$(awk '/^#\[cfg\(test\)\]/ { exit }
                 /^[[:space:]]*\/\// { next }
                 /\.unwrap\(\)|\.expect\(|panic!/ { print FILENAME ":" FNR ": " $0 }' "$f")
@@ -129,7 +159,7 @@ for f in crates/sched/src/pool.rs crates/sched/src/persistent.rs \
     fi
 done
 [ "$gate_fail" -eq 0 ] || exit 1
-echo "ok: pool/persistent/driver/plan/executor non-test code is unwrap/panic free"
+echo "ok: pool/persistent/submit/driver/plan/executor/service/stress non-test code is unwrap/panic free"
 
 echo "== executor reuse smoke (flat thread count) =="
 # 50 plan.execute iterations through one Session must spawn the worker

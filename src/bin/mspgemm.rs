@@ -6,6 +6,8 @@
 //! mspgemm tune     --graph circuit5M --scale 0.3           Fig. 12 flow
 //! mspgemm predict  --graph GAP-road --scale 0.3            model-based config
 //! mspgemm stats    --mtx path.mtx                          structure report
+//! mspgemm serve    --graph GAP-road --tenants 8 --iters 25  service demo
+//! mspgemm stress   --graph GAP-road --tenants 64 --runs 50  adversarial check
 //! ```
 //!
 //! Graphs come either from `--mtx <file>` (Matrix Market; symmetrised and
@@ -16,9 +18,10 @@ use masked_spgemm_repro::core::RunStats;
 use masked_spgemm_repro::prelude::*;
 use masked_spgemm_repro::rt::{json, obs};
 use mspgemm_sparse::stats::MatrixStats;
-use mspgemm_sparse::SparseError;
+use mspgemm_sparse::{Coo, SparseError};
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Unwrap an execution result or exit 1 with the structured error — the
@@ -213,7 +216,7 @@ fn check_metrics_doc(doc: &json::Value) -> Result<String, String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mspgemm <tc|run|session|tune|predict|stats|check-metrics|list> [options]\n\
+        "usage: mspgemm <tc|run|session|serve|stress|tune|predict|stats|check-metrics|list> [options]\n\
          \n\
          input (one of):\n\
            --mtx <file>        Matrix Market file (symmetrised, boolean)\n\
@@ -243,7 +246,17 @@ fn usage() -> ! {
            --reps <n>          timing repetitions (run only, default 3)\n\
            --iters <n>         planned executions (session only, default 50)\n\
          \n\
-         observability (run/tc/session):\n\
+         concurrent service (serve/stress):\n\
+           --tenants <n>       concurrent submitting tenants (serve: 4, stress: 64)\n\
+           --iters <n>         submissions per tenant (serve only, default 25)\n\
+           --runs <n>          submissions per tenant (stress only, default 50)\n\
+           --queue <n>         admission queue capacity (default 256)\n\
+           --batch <n>         max jobs coalesced per dispatch (default 16)\n\
+           --seed <n>          stress schedule seed (default 0x5eed)\n\
+           --cancel <permille> stress: submissions cancelled (default 100)\n\
+           --drop <permille>   stress: tickets dropped unwaited (default 50)\n\
+         \n\
+         observability (run/tc/session/serve):\n\
            --metrics <file>    arm counters, write a mspgemm.run/1 JSON report\n\
            --trace <file>      arm spans, write a chrome://tracing JSON file\n\
          \n\
@@ -298,6 +311,35 @@ fn load_graph(flags: &HashMap<String, String>) -> Csr<u64> {
         eprintln!("need --mtx or --graph");
         usage();
     }
+}
+
+/// The mask restricted to every `stride`-th row of `a` — a BFS-style
+/// frontier, the small-product workload the service's batching targets.
+fn frontier_mask(a: &Csr<u64>, stride: usize) -> Csr<u64> {
+    let mut coo = Coo::new(a.nrows(), a.ncols());
+    for i in (0..a.nrows()).step_by(stride.max(1)) {
+        let (cols, _) = a.row(i);
+        for &j in cols {
+            coo.push(i, j as usize, 1u64);
+        }
+    }
+    coo.to_csr_with(|v, _| v)
+}
+
+/// Percentile (nearest-rank) of an already-sorted sample, in the same unit.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn flag_usize(flags: &HashMap<String, String>, name: &str, default: usize) -> usize {
+    flags.get(name).map(|v| v.parse().unwrap_or_else(|_| {
+        eprintln!("bad --{name}");
+        usage();
+    })).unwrap_or(default)
 }
 
 fn parse_config(flags: &HashMap<String, String>) -> Config {
@@ -501,6 +543,166 @@ fn main() -> ExitCode {
                 );
                 std::process::exit(1);
             }
+        }
+        "serve" => {
+            // In-process service demo: N tenants in a closed loop, each
+            // submitting its own frontier-masked product against one
+            // Service. Reports throughput, queue-delay percentiles, and
+            // (with --metrics) an aggregate mspgemm.run/1 document whose
+            // svc.* counters cover the whole serving window.
+            let a = Arc::new(load_graph(&flags));
+            let cfg = parse_config(&flags);
+            let tenants = flag_usize(&flags, "tenants", 4).max(1);
+            let iters = flag_usize(&flags, "iters", 25).max(1);
+            arm_observability(&flags);
+            let service: Service<PlusPair> = Service::on(
+                Executor::global(),
+                ServiceOptions {
+                    queue_capacity: flag_usize(&flags, "queue", 256).max(1),
+                    batch_max: flag_usize(&flags, "batch", 16).max(1),
+                    ..ServiceOptions::default()
+                },
+            );
+            println!(
+                "serving {} tenants x {} submissions (queue {}, batch {})",
+                tenants, iters, service.capacity(), service.batch_max()
+            );
+            let delays: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+            let last_stats: Mutex<Option<RunStats>> = Mutex::new(None);
+            let t0 = Instant::now();
+            std::thread::scope(|scope| {
+                for tenant in 0..tenants {
+                    let (service, a, delays, last_stats) = (&service, &a, &delays, &last_stats);
+                    scope.spawn(move || {
+                        // each tenant queries a different fixed frontier,
+                        // so the dispatcher's plan cache sees per-tenant
+                        // reuse across the closed loop
+                        let mask = Arc::new(frontier_mask(a, 4 + tenant));
+                        for _ in 0..iters {
+                            let ticket = loop {
+                                match service.submit(
+                                    Arc::clone(a),
+                                    Arc::clone(a),
+                                    Arc::clone(&mask),
+                                    cfg,
+                                    SubmitOptions { tenant: tenant as u32, ..Default::default() },
+                                ) {
+                                    Ok(t) => break t,
+                                    Err(SparseError::QueueFull { .. }) => {
+                                        std::thread::yield_now();
+                                    }
+                                    Err(e) => {
+                                        eprintln!("mspgemm: {e}");
+                                        std::process::exit(1);
+                                    }
+                                }
+                            };
+                            let reply = or_die(ticket.wait());
+                            delays
+                                .lock()
+                                .unwrap()
+                                .push(reply.queue_delay.as_micros() as u64);
+                            *last_stats.lock().unwrap() = Some(reply.stats);
+                        }
+                    });
+                }
+            });
+            let elapsed = t0.elapsed();
+            let mut delays = delays.into_inner().unwrap();
+            delays.sort_unstable();
+            let jobs = delays.len() as u64;
+            println!(
+                "{} jobs in {:.1} ms: {:.0} jobs/s, queue delay p50 {} us / p99 {} us",
+                jobs,
+                ms(elapsed),
+                jobs as f64 / elapsed.as_secs_f64(),
+                percentile(&delays, 50.0),
+                percentile(&delays, 99.0),
+            );
+            println!(
+                "batches {}, batched jobs {}, plan cache {} hit / {} miss",
+                obs::counter_value(obs::Counter::SvcBatches),
+                obs::counter_value(obs::Counter::SvcBatchedJobs),
+                obs::counter_value(obs::Counter::SvcPlanCacheHits),
+                obs::counter_value(obs::Counter::SvcPlanCacheMisses),
+            );
+            let stats = last_stats.into_inner().unwrap();
+            if let Some(stats) = stats {
+                emit_observability(&flags, "serve", &cfg, &stats, &[
+                    ("tenants", tenants as u64),
+                    ("jobs", jobs),
+                    ("p50_queue_delay_us", percentile(&delays, 50.0)),
+                    ("p99_queue_delay_us", percentile(&delays, 99.0)),
+                ]);
+            }
+        }
+        "stress" => {
+            // Adversarial multi-tenant schedule on a dedicated executor:
+            // seeded submit/cancel/drop storms over three mask shapes,
+            // every reply checked bit-identical to its serial reference.
+            // Exit is non-zero on any mismatch or leaked queue slot, so
+            // this doubles as the CI concurrency smoke (run it with
+            // MSPGEMM_FAILPOINTS armed to cover fault recovery too).
+            let a = Arc::new(load_graph(&flags));
+            let cfg = parse_config(&flags);
+            let spec = StressSpec {
+                tenants: flag_usize(&flags, "tenants", 64).max(1),
+                runs_per_tenant: flag_usize(&flags, "runs", 50).max(1),
+                seed: flags
+                    .get("seed")
+                    .map(|s| s.parse().unwrap_or_else(|_| {
+                        eprintln!("bad --seed");
+                        usage();
+                    }))
+                    .unwrap_or(0x5eed),
+                queue_capacity: flag_usize(&flags, "queue", 256).max(1),
+                batch_max: flag_usize(&flags, "batch", 16).max(1),
+                cancel_permille: flag_usize(&flags, "cancel", 100) as u32,
+                drop_permille: flag_usize(&flags, "drop", 50) as u32,
+            };
+            let cases: Vec<StressCase<PlusPair>> = [1usize, 4, 16]
+                .iter()
+                .map(|&stride| StressCase {
+                    a: Arc::clone(&a),
+                    b: Arc::clone(&a),
+                    mask: Arc::new(frontier_mask(&a, stride)),
+                    config: cfg,
+                })
+                .collect();
+            let exec = Executor::new();
+            println!(
+                "stress: {} tenants x {} runs, seed {:#x}, cancel {}‰ / drop {}‰",
+                spec.tenants, spec.runs_per_tenant, spec.seed,
+                spec.cancel_permille, spec.drop_permille
+            );
+            let t0 = Instant::now();
+            let report = or_die(run_stress::<PlusPair>(&exec, spec, &cases));
+            println!(
+                "{:.1} ms: submitted {}, completed {}, cancelled {}, dropped {}, \
+                 rejected {}, tile-failed {}, workers {}",
+                ms(t0.elapsed()),
+                report.submitted, report.completed, report.cancelled, report.dropped,
+                report.rejected, report.failed, report.spawned_workers
+            );
+            let mut bad = false;
+            if report.mismatches != 0 {
+                eprintln!(
+                    "mspgemm: {} replies were NOT bit-identical to the serial reference",
+                    report.mismatches
+                );
+                bad = true;
+            }
+            if report.queue_depth_end != 0 {
+                eprintln!(
+                    "mspgemm: {} queue slots leaked after all tenants finished",
+                    report.queue_depth_end
+                );
+                bad = true;
+            }
+            if bad {
+                std::process::exit(1);
+            }
+            println!("ok: all replies bit-identical to serial, queue drained to zero");
         }
         "check-metrics" => {
             let Some(path) = flags.get("file") else {

@@ -30,8 +30,9 @@ pub mod prelude {
     pub use mspgemm_accum::{AccumulatorKind, MarkerWidth};
     pub use mspgemm_core::{
         masked_spgemm_2d, masked_spgemm_csc, masked_spgemm_dot, predict_config, preset_config,
-        spgemm, tune, Assembly, Config, ConfigBuilder, Executor, IterationSpace, Plan, Preset,
-        RunStats, Session, TunerOptions,
+        run_stress, spgemm, tune, Assembly, Config, ConfigBuilder, Executor, IterationSpace,
+        JobTicket, Plan, Preset, RunStats, Service, ServiceOptions, ServiceReply, Session,
+        StressCase, StressReport, StressSpec, SubmitOptions, TunerOptions,
     };
     pub use mspgemm_gen::{er, rmat, road, suite_graph, suite_specs, web, GraphKind};
     pub use mspgemm_graph::{
